@@ -1,0 +1,275 @@
+// Command flordb is the command-line interface to the FlorDB reproduction.
+//
+//	flordb run <script.flow> [--arg name=value ...]   record a pipeline script
+//	flordb hindsight <script.flow> <new.flow>         propagate + replay new logs
+//	flordb dataframe <name> [<name> ...]              pivoted metadata view
+//	flordb sql "<query>"                              SQL over the Figure-1 schema
+//	flordb versions <script.flow>                     committed versions of a file
+//	flordb build <Makefile> <goal>                    run a pipeline Makefile
+//	flordb serve [--addr :8080]                       Figure-6 feedback web UI
+//	flordb demo                                       end-to-end PDF-parser demo
+//
+// State lives under ./.flor in the working directory (override with --dir).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	flor "flordb"
+	"flordb/internal/build"
+	"flordb/internal/docsim"
+	"flordb/internal/hostlib"
+	"flordb/internal/mlsim"
+	"flordb/internal/vcs"
+	"flordb/internal/webui"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "flordb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: flordb {run|hindsight|dataframe|sql|versions|build|serve|demo} ...")
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	dir := fs.String("dir", ".", "project directory (state in <dir>/.flor)")
+	proj := fs.String("project", "pdf-parser", "project id")
+	addr := fs.String("addr", ":8080", "listen address for serve")
+	docs := fs.Int("docs", 8, "synthetic corpus size")
+	seed := fs.Int("seed", 1, "corpus seed")
+	var scriptArgs argList
+	fs.Var(&scriptArgs, "arg", "script argument name=value (repeatable)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	pos := fs.Args()
+
+	openSess := func() (*flor.Session, *hostlib.State, error) {
+		sess, err := flor.Open(*dir, *proj, flor.Options{Args: scriptArgs.m, Stdout: os.Stdout})
+		if err != nil {
+			return nil, nil, err
+		}
+		st := hostlib.NewState(docsim.Config{
+			NumDocs: *docs, MinPages: 3, MaxPages: 8, OCRFraction: 0.4, Seed: uint64(*seed),
+		}, 16)
+		hostlib.Register(sess, st)
+		hostlib.RegisterFlorQueries(sess, sess)
+		return sess, st, nil
+	}
+
+	switch cmd {
+	case "run":
+		if len(pos) != 1 {
+			return fmt.Errorf("usage: flordb run <script.flow>")
+		}
+		src, err := os.ReadFile(pos[0])
+		if err != nil {
+			return err
+		}
+		sess, _, err := openSess()
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		name := filepath.Base(pos[0])
+		if err := sess.RunScript(name, string(src)); err != nil {
+			return err
+		}
+		if err := sess.Commit("flordb run " + name); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %s as version %d\n", name, sess.Tstamp()-1)
+		return nil
+
+	case "hindsight":
+		if len(pos) != 2 {
+			return fmt.Errorf("usage: flordb hindsight <script.flow> <new-version.flow>")
+		}
+		newSrc, err := os.ReadFile(pos[1])
+		if err != nil {
+			return err
+		}
+		sess, _, err := openSess()
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		name := filepath.Base(pos[0])
+		reports, err := sess.Hindsight(name, string(newSrc), nil)
+		if err != nil {
+			return err
+		}
+		for _, rep := range reports {
+			status := "ok"
+			if rep.Err != nil {
+				status = rep.Err.Error()
+			} else if rep.Skipped {
+				status = "skipped (no new statements)"
+			}
+			fmt.Printf("%s  ts=%d  injected=%d  mode=%-6s  ran=%d skipped=%d restored=%d logs=%d  %s  [%s]\n",
+				vcs.Short(rep.VID), rep.Tstamp, rep.Injected, rep.Mode,
+				rep.Stats.IterationsRun, rep.Stats.IterationsSkipped,
+				rep.Stats.Restores, rep.Stats.LogsEmitted, rep.Duration.Round(1e5), status)
+		}
+		return nil
+
+	case "dataframe":
+		if len(pos) == 0 {
+			return fmt.Errorf("usage: flordb dataframe <name> [<name> ...]")
+		}
+		sess, _, err := openSess()
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		df, err := sess.Dataframe(pos...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(df.String())
+		return nil
+
+	case "sql":
+		if len(pos) != 1 {
+			return fmt.Errorf("usage: flordb sql \"SELECT ...\"")
+		}
+		sess, _, err := openSess()
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		res, err := sess.SQL(pos[0])
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		for _, r := range res.Rows {
+			parts := make([]string, len(r))
+			for i, v := range r {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+		return nil
+
+	case "versions":
+		if len(pos) != 1 {
+			return fmt.Errorf("usage: flordb versions <script.flow>")
+		}
+		sess, _, err := openSess()
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		versions, err := sess.Versions(filepath.Base(pos[0]))
+		if err != nil {
+			return err
+		}
+		for _, v := range versions {
+			fmt.Printf("%s  ts=%d\n", vcs.Short(v.VID), v.Tstamp)
+		}
+		return nil
+
+	case "build":
+		if len(pos) != 2 {
+			return fmt.Errorf("usage: flordb build <Makefile> <goal>")
+		}
+		text, err := os.ReadFile(pos[0])
+		if err != nil {
+			return err
+		}
+		mf, err := build.Parse(string(text))
+		if err != nil {
+			return err
+		}
+		sess, _, err := openSess()
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		runner := build.NewRunner(mf, func(rule build.Rule) error {
+			fmt.Printf("[%s] %s\n", rule.Target, strings.Join(rule.Cmds, " && "))
+			for _, c := range rule.Cmds {
+				c = strings.TrimPrefix(strings.TrimSpace(c), "@")
+				if strings.HasPrefix(c, "flow ") {
+					scriptPath := strings.TrimSpace(strings.TrimPrefix(c, "flow "))
+					src, err := os.ReadFile(filepath.Join(*dir, scriptPath))
+					if err != nil {
+						return err
+					}
+					if err := sess.RunScript(filepath.Base(scriptPath), string(src)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}, 4)
+		if err := sess.RegisterBuild(mf, runner); err != nil {
+			return err
+		}
+		if err := runner.Run(pos[1]); err != nil {
+			return err
+		}
+		if err := sess.Commit("flordb build " + pos[1]); err != nil {
+			return err
+		}
+		fmt.Println("dataflow:")
+		fmt.Print(build.Dataflow(mf))
+		return nil
+
+	case "serve":
+		sess, st, err := openSess()
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		model := mlsim.NewMLP(st.Dim, 32, 2, mlsim.NewRNG(7))
+		srv := webui.NewServer(sess, st.Corpus, func(doc *docsim.Document) []bool {
+			out := make([]bool, len(doc.Pages))
+			for i, p := range doc.Pages {
+				out[i] = model.Predict(docsim.Vectorize(p, st.Dim)) == 1
+			}
+			return out
+		})
+		fmt.Printf("serving the PDF Parser feedback UI on %s\n", *addr)
+		return http.ListenAndServe(*addr, srv)
+
+	case "demo":
+		return runDemo(*dir, *proj, *docs, uint64(*seed))
+
+	default:
+		return usage()
+	}
+}
+
+// argList collects repeated --arg name=value flags.
+type argList struct{ m map[string]string }
+
+func (a *argList) String() string { return fmt.Sprintf("%v", a.m) }
+
+func (a *argList) Set(s string) error {
+	if a.m == nil {
+		a.m = make(map[string]string)
+	}
+	i := strings.IndexByte(s, '=')
+	if i <= 0 {
+		return fmt.Errorf("--arg expects name=value, got %q", s)
+	}
+	a.m[s[:i]] = s[i+1:]
+	return nil
+}

@@ -1,0 +1,70 @@
+// Quickstart: the smallest useful FlorDB program — log values inside named
+// loops from native Go, commit, and query them back as a pivoted dataframe
+// and via SQL. Mirrors §2.1 of the paper.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	flor "flordb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "flor-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sess, err := flor.Open(dir, "quickstart", flor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	sess.SetFilename("main.go")
+
+	// Log metrics inside a named loop: every record carries projid, tstamp,
+	// filename and the loop context automatically.
+	lr := sess.ArgFloat("lr", 0.01)
+	for it := sess.Loop("epoch", 5); it.Next(); {
+		epoch := it.Index()
+		loss := 1.0 / float64(epoch+1)
+		sess.Log("loss", loss)
+		sess.Log("acc", 1.0-loss*lr*10)
+	}
+	if err := sess.Commit("quickstart run"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Read the logs back as a pivoted dataframe (flor.dataframe).
+	df, err := sess.Dataframe("loss", "acc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flor.dataframe(\"loss\", \"acc\"):")
+	fmt.Print(df.String())
+
+	// Or with SQL over the Figure-1 schema.
+	res, err := sess.SQL(`
+		SELECT value_name, count(*) AS n, max(cast_float(value)) AS best
+		FROM logs GROUP BY value_name ORDER BY value_name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSQL over the logs table:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-6s n=%v best=%v\n", r[0], r[1], r[2])
+	}
+
+	// Pick the best epoch — the model-registry query of §4.2.
+	best, err := df.ArgMax("acc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest epoch by acc: epoch=%v acc=%v\n",
+		best[df.Index("epoch_value")], best[df.Index("acc")])
+}

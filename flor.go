@@ -1,0 +1,614 @@
+// Package flor is the public API of FlorDB-in-Go — a reproduction of
+// "Flow with FlorDB: Incremental Context Maintenance for the Machine
+// Learning Lifecycle" (CIDR 2025).
+//
+// The API mirrors §2.1 of the paper:
+//
+//	sess, _ := flor.Open(dir, "my-project")
+//	defer sess.Close()
+//
+//	lr := sess.ArgFloat("lr", 1e-3)
+//	ck := sess.Checkpointing(map[string]flor.Snapshotter{"model": net})
+//	for it := sess.Loop("epoch", epochs); it.Next(); {
+//	    ...
+//	    sess.Log("loss", loss)
+//	}
+//	ck.Close()
+//	sess.Log("acc", acc)
+//	sess.Commit("trained")
+//
+//	df, _ := sess.Dataframe("acc", "recall")
+//	best, _ := df.ArgMax("recall")
+//
+// Beyond the native Go API, sessions execute Flow pipeline scripts
+// (RunScript) and perform multiversion hindsight logging over them
+// (Hindsight): add a flor.log statement to the newest version of a script
+// and FlorDB propagates it into all committed versions and replays them
+// incrementally from checkpoints.
+package flor
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"flordb/internal/build"
+	"flordb/internal/pivot"
+	"flordb/internal/record"
+	"flordb/internal/relation"
+	"flordb/internal/replay"
+	"flordb/internal/script"
+	"flordb/internal/sqlparse"
+	"flordb/internal/storage"
+	"flordb/internal/vcs"
+)
+
+// Snapshotter is re-exported so callers don't import internal packages.
+type Snapshotter = script.Snapshotter
+
+// Dataframe is the pivoted metadata view (flor.dataframe in the paper).
+type Dataframe = pivot.Dataframe
+
+// Session is one FlorDB project handle. It owns the metadata database, the
+// WAL, the checkpoint blob store, and the version-control repository.
+// Methods are safe for concurrent use unless noted.
+type Session struct {
+	ProjID string
+
+	mu        sync.Mutex
+	dir       string // "" for in-memory sessions
+	db        *relation.Database
+	tables    *record.Tables
+	wal       *storage.WAL
+	blobs     *storage.BlobStore
+	repo      *vcs.Repo
+	tstamp    int64
+	recorder  *replay.Recorder
+	workspace map[string]string // filename -> contents staged for commit
+	hosts     map[string]script.HostFunc
+	cliArgs   map[string]string
+	rootTgt   string
+	stdout    io.Writer
+}
+
+// Options configures session opening.
+type Options struct {
+	// Args carries command-line overrides consumed by flor.arg.
+	Args map[string]string
+	// Policy selects the checkpointing policy (nil = adaptive 5%).
+	Policy replay.CheckpointPolicy
+	// NoSync disables WAL fsync (benchmarks).
+	NoSync bool
+	// Stdout receives Flow script print output (nil = discard).
+	Stdout io.Writer
+}
+
+// Open opens (creating if necessary) the FlorDB project rooted at dir. All
+// durable state lives under dir/.flor.
+func Open(dir, projid string, opts Options) (*Session, error) {
+	florDir := filepath.Join(dir, ".flor")
+	if err := os.MkdirAll(florDir, 0o755); err != nil {
+		return nil, fmt.Errorf("flor: %w", err)
+	}
+	wal, err := storage.OpenWAL(filepath.Join(florDir, "flor.wal"), storage.Options{NoSync: opts.NoSync})
+	if err != nil {
+		return nil, err
+	}
+	blobs, err := storage.NewBlobStore(filepath.Join(florDir, "objects"))
+	if err != nil {
+		return nil, err
+	}
+	repo, err := vcs.Load(filepath.Join(florDir, "repo.json"))
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSession(projid, dir, wal, blobs, repo, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenMemory creates an ephemeral in-memory session (no WAL, no blob files);
+// useful for tests and benchmarks.
+func OpenMemory(projid string, opts Options) (*Session, error) {
+	return newSession(projid, "", nil, nil, vcs.NewRepo(), opts)
+}
+
+func newSession(projid, dir string, wal *storage.WAL, blobs *storage.BlobStore, repo *vcs.Repo, opts Options) (*Session, error) {
+	db := relation.NewDatabase()
+	tables, err := record.CreateTables(db)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		ProjID:    projid,
+		dir:       dir,
+		db:        db,
+		tables:    tables,
+		wal:       wal,
+		blobs:     blobs,
+		repo:      repo,
+		tstamp:    1,
+		workspace: make(map[string]string),
+		hosts:     make(map[string]script.HostFunc),
+		cliArgs:   opts.Args,
+		stdout:    opts.Stdout,
+	}
+	if s.stdout == nil {
+		s.stdout = io.Discard
+	}
+
+	// Recover prior state from the WAL.
+	if wal != nil {
+		maxTs, err := s.recover()
+		if err != nil {
+			return nil, err
+		}
+		if maxTs >= s.tstamp {
+			s.tstamp = maxTs + 1
+		}
+	}
+
+	// Register the git virtual table over the repo.
+	gitVT := &relation.FuncVirtualTable{
+		TableName:   "git",
+		TableSchema: record.GitSchema(),
+		RowsFn: func() []relation.Row {
+			raw, err := s.repo.GitRows()
+			if err != nil {
+				return nil
+			}
+			rows := make([]relation.Row, len(raw))
+			for i, r := range raw {
+				parent := relation.Null()
+				if r[2] != "" {
+					parent = relation.Text(r[2])
+				}
+				rows[i] = relation.Row{relation.Text(r[0]), relation.Text(r[1]), parent, relation.Text(r[3])}
+			}
+			return rows
+		},
+	}
+	if err := db.RegisterVirtual(gitVT); err != nil {
+		return nil, err
+	}
+
+	ctx := &replay.Context{
+		ProjID: projid, Filename: "main", Tstamp: s.tstamp,
+		Tables: tables, WAL: wal, Blobs: blobs,
+	}
+	ckpt := replay.NewCheckpointManager(opts.Policy)
+	s.recorder = replay.NewRecorder(ctx, ckpt)
+	s.recorder.Args = opts.Args
+	s.recorder.SetCtxCounter(replay.MaxCtxID(tables))
+	s.recorder.OnCommit = func() error { return s.Commit("") }
+	return s, nil
+}
+
+// recover replays the WAL, rebuilding tables, ts2vid rows (from commit
+// records) and obj_store blobs (from checkpoint records + blob store).
+func (s *Session) recover() (int64, error) {
+	var maxTs int64
+	err := storage.Replay(s.wal.Path(), false, func(rec any) error {
+		switch r := rec.(type) {
+		case *record.CommitRecord:
+			if r.Tstamp > maxTs {
+				maxTs = r.Tstamp
+			}
+			if r.VID != "" {
+				_, err := s.tables.Ts2vid.Insert(relation.Row{
+					relation.Text(r.ProjID), relation.Int(r.Tstamp), relation.Int(r.Tstamp),
+					relation.Text(r.VID), relation.Text(s.rootTgt),
+				})
+				return err
+			}
+			return nil
+		case *record.CkptRecord:
+			if r.Tstamp > maxTs {
+				maxTs = r.Tstamp
+			}
+			if s.blobs != nil && s.blobs.Has(r.BlobKey) {
+				blob, err := s.blobs.Get(r.BlobKey)
+				if err != nil {
+					return err
+				}
+				return s.tables.PutBlob(r.ProjID, r.Tstamp, r.Filename, r.CtxID, r.Name, blob)
+			}
+			return nil
+		default:
+			if err := s.tables.Apply(rec); err != nil {
+				return err
+			}
+			switch r := rec.(type) {
+			case *record.LogRecord:
+				if r.Tstamp > maxTs {
+					maxTs = r.Tstamp
+				}
+			case *record.LoopRecord:
+				if r.Tstamp > maxTs {
+					maxTs = r.Tstamp
+				}
+			case *record.ArgRecord:
+				if r.Tstamp > maxTs {
+					maxTs = r.Tstamp
+				}
+			}
+			return nil
+		}
+	})
+	return maxTs, err
+}
+
+// Tstamp returns the current logical timestamp (version counter).
+func (s *Session) Tstamp() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tstamp
+}
+
+// SetFilename sets the filename recorded on subsequent native-API log
+// records (the paper profiles the executing file automatically; Go programs
+// declare it).
+func (s *Session) SetFilename(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recorder.Ctx.Filename = name
+}
+
+// ---------- Native Go API (§2.1) ----------
+
+// Log records a named value and returns it (flor.log).
+func (s *Session) Log(name string, v any) any {
+	out, err := s.recorder.Log(name, toScriptValue(v))
+	if err != nil {
+		return v
+	}
+	return out
+}
+
+// ArgInt resolves an integer hyperparameter (flor.arg).
+func (s *Session) ArgInt(name string, def int64) int64 {
+	v, err := s.recorder.Arg(name, def)
+	if err != nil {
+		return def
+	}
+	return v.(int64)
+}
+
+// ArgFloat resolves a float hyperparameter (flor.arg).
+func (s *Session) ArgFloat(name string, def float64) float64 {
+	v, err := s.recorder.Arg(name, def)
+	if err != nil {
+		return def
+	}
+	return v.(float64)
+}
+
+// ArgString resolves a string hyperparameter (flor.arg).
+func (s *Session) ArgString(name, def string) string {
+	v, err := s.recorder.Arg(name, def)
+	if err != nil {
+		return def
+	}
+	return v.(string)
+}
+
+// LoopIter drives one flor.loop from native Go code.
+type LoopIter struct {
+	sess    *replay.Recorder
+	session script.LoopSession
+	n       int
+	i       int
+	started bool
+	err     error
+	vals    []script.Value // non-nil for LoopVals loops
+}
+
+// Loop begins a named loop over n iterations (flor.loop). Iterate with
+// Next/Index; the loop closes itself when Next returns false.
+func (s *Session) Loop(name string, n int) *LoopIter {
+	vals := make([]script.Value, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	ls, err := s.recorder.LoopBegin(name, vals)
+	return &LoopIter{sess: s.recorder, session: ls, n: n, i: -1, err: err}
+}
+
+// LoopVals begins a named loop over explicit values (e.g. document names).
+func (s *Session) LoopVals(name string, vals []string) *LoopIter {
+	sv := make([]script.Value, len(vals))
+	for i, v := range vals {
+		sv[i] = v
+	}
+	ls, err := s.recorder.LoopBegin(name, sv)
+	return &LoopIter{sess: s.recorder, session: ls, n: len(vals), i: -1, err: err,
+		vals: sv}
+}
+
+// Next advances the loop; it returns false at the end (and finalizes the
+// loop context).
+func (it *LoopIter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	if it.started {
+		if err := it.session.PostIter(it.i, it.val()); err != nil {
+			it.err = err
+			return false
+		}
+	}
+	it.i++
+	if it.i >= it.n {
+		it.err = it.session.End()
+		return false
+	}
+	run, err := it.session.Decide(it.i, it.val())
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.started = true
+	_ = run // recording always runs
+	return true
+}
+
+// vals is non-nil for LoopVals loops.
+func (it *LoopIter) val() script.Value {
+	if it.vals != nil {
+		return it.vals[it.i]
+	}
+	return int64(it.i)
+}
+
+// Index returns the current iteration index.
+func (it *LoopIter) Index() int { return it.i }
+
+// Err reports any error the loop hit.
+func (it *LoopIter) Err() error { return it.err }
+
+// Checkpointing opens a flor.checkpointing scope over the given objects.
+// Close it when the training loop finishes.
+type CheckpointScope struct{ rec *replay.Recorder }
+
+// Checkpointing registers objects for adaptive checkpointing.
+func (s *Session) Checkpointing(objs map[string]Snapshotter) (*CheckpointScope, error) {
+	m := make(map[string]script.Value, len(objs))
+	for k, v := range objs {
+		m[k] = v
+	}
+	if err := s.recorder.CheckpointingBegin(m); err != nil {
+		return nil, err
+	}
+	return &CheckpointScope{rec: s.recorder}, nil
+}
+
+// Close ends the checkpointing scope.
+func (c *CheckpointScope) Close() error { return c.rec.CheckpointingEnd() }
+
+// StageFile registers file contents to be captured by the next Commit —
+// FlorDB's automatic version control of executed code.
+func (s *Session) StageFile(name, contents string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workspace[name] = contents
+}
+
+// Commit is flor.commit(): it snapshots the staged workspace into the
+// version store, writes the ts2vid row, appends a durable commit record,
+// and increments the logical timestamp (§2.1).
+func (s *Session) Commit(message string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var vid string
+	if len(s.workspace) > 0 {
+		files := make(map[string]string, len(s.workspace))
+		for k, v := range s.workspace {
+			files[k] = v
+		}
+		v, err := s.repo.CommitFiles(files, message, time.Now())
+		if err != nil {
+			return err
+		}
+		vid = v
+		if _, err := s.tables.Ts2vid.Insert(relation.Row{
+			relation.Text(s.ProjID), relation.Int(s.tstamp), relation.Int(s.tstamp),
+			relation.Text(vid), relation.Text(s.rootTgt),
+		}); err != nil {
+			return err
+		}
+	}
+	if s.wal != nil {
+		rec := &record.CommitRecord{
+			Kind: record.KindCommit, ProjID: s.ProjID, Tstamp: s.tstamp,
+			VID: vid, Wall: time.Now().UTC(),
+		}
+		if err := s.wal.AppendCommit(rec); err != nil {
+			return err
+		}
+	}
+	if s.dir != "" {
+		if err := s.repo.Save(filepath.Join(s.dir, ".flor", "repo.json")); err != nil {
+			return err
+		}
+	}
+	s.tstamp++
+	s.recorder.Ctx.Tstamp = s.tstamp
+	return nil
+}
+
+// ---------- Query surface ----------
+
+// Dataframe pivots the named logged values across all versions (§2.1
+// flor.dataframe).
+func (s *Session) Dataframe(names ...string) (*Dataframe, error) {
+	return pivot.Build(s.tables, s.ProjID, names, pivot.Options{})
+}
+
+// DataframeAt pivots restricted to one file and/or version.
+func (s *Session) DataframeAt(filename string, tstamp int64, names ...string) (*Dataframe, error) {
+	return pivot.Build(s.tables, s.ProjID, names, pivot.Options{Filename: filename, Tstamp: tstamp})
+}
+
+// SQL runs a SQL query over the Figure-1 schema (logs, loops, ts2vid,
+// obj_store, args, git, build_deps when registered).
+func (s *Session) SQL(query string) (*sqlparse.Result, error) {
+	return sqlparse.Run(s.db, query)
+}
+
+// Database exposes the catalog (for registering additional virtual tables,
+// e.g. build_deps).
+func (s *Session) Database() *relation.Database { return s.db }
+
+// Tables exposes the base tables (read-mostly; used by the web UI).
+func (s *Session) Tables() *record.Tables { return s.tables }
+
+// Hooks exposes the session's recording hooks for direct use with a Flow
+// interpreter (benchmarks isolate hook cost this way; normal callers should
+// use RunScript).
+func (s *Session) Hooks() script.FlorHooks { return s.recorder }
+
+// Repo exposes the version store.
+func (s *Session) Repo() *vcs.Repo { return s.repo }
+
+// RegisterBuild installs a makefile's build_deps virtual table.
+func (s *Session) RegisterBuild(mf *build.Makefile, runner *build.Runner) error {
+	return s.db.RegisterVirtual(build.DepsVirtualTable(mf, runner, ""))
+}
+
+// ---------- Flow scripts ----------
+
+// RegisterHost exposes a Go function to Flow scripts run by this session.
+func (s *Session) RegisterHost(name string, fn script.HostFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hosts[name] = fn
+}
+
+// RunScript executes a Flow script under recording: logs, loops, args and
+// checkpoints are captured with the script's filename; the source is staged
+// so the next Commit versions it. The paper's equivalent is `python
+// train.py` under FlorDB instrumentation.
+func (s *Session) RunScript(filename, src string) error {
+	f, err := script.Parse(filename, src)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	prevFile := s.recorder.Ctx.Filename
+	s.recorder.Ctx.Filename = filename
+	s.workspace[filename] = src
+	hosts := make(map[string]script.HostFunc, len(s.hosts))
+	for k, v := range s.hosts {
+		hosts[k] = v
+	}
+	stdout := s.stdout
+	s.mu.Unlock()
+
+	in := script.NewInterp(s.recorder, stdout)
+	for name, fn := range hosts {
+		in.RegisterHost(name, fn)
+	}
+	runErr := in.Run(f)
+
+	s.mu.Lock()
+	s.recorder.Ctx.Filename = prevFile
+	s.mu.Unlock()
+	return runErr
+}
+
+// ---------- Multiversion hindsight logging ----------
+
+// HindsightReport summarizes one version's backfill.
+type HindsightReport = replay.VersionReport
+
+// Hindsight performs the paper's §2 "magic trick" for a script file: the
+// new source's added log statements are propagated into every committed
+// version of the file and replayed incrementally (from checkpoints, in
+// parallel) to materialize the new metadata retroactively. targets
+// optionally restricts which checkpoint-loop iterations are materialized.
+func (s *Session) Hindsight(filename, newSrc string, targets []int) ([]HindsightReport, error) {
+	versions, err := replay.HistoricalVersions(s.repo, s.tables, s.ProjID, filename)
+	if err != nil {
+		return nil, err
+	}
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("flor: no committed versions of %s to backfill", filename)
+	}
+	s.mu.Lock()
+	hosts := make(map[string]script.HostFunc, len(s.hosts))
+	for k, v := range s.hosts {
+		hosts[k] = v
+	}
+	s.mu.Unlock()
+	d := &replay.Driver{
+		Repo: s.repo, Tables: s.tables, WAL: s.wal, Blobs: s.blobs,
+		ProjID: s.ProjID,
+		Setup: func(in *script.Interp) {
+			for name, fn := range hosts {
+				in.RegisterHost(name, fn)
+			}
+		},
+	}
+	return d.Hindsight(filename, newSrc, versions, targets)
+}
+
+// Versions lists the committed versions of a file, oldest first.
+func (s *Session) Versions(filename string) ([]replay.VersionJob, error) {
+	return replay.HistoricalVersions(s.repo, s.tables, s.ProjID, filename)
+}
+
+// LoggedNamesAcrossVersions returns, per version timestamp, the set of value
+// names logged — useful for seeing which versions are missing which metadata.
+func (s *Session) LoggedNamesAcrossVersions() map[int64][]string {
+	byTs := make(map[int64]map[string]bool)
+	s.tables.Logs.Scan(func(_ relation.RowID, r relation.Row) bool {
+		if r[0].AsText() != s.ProjID {
+			return true
+		}
+		ts := r[1].AsInt()
+		if byTs[ts] == nil {
+			byTs[ts] = make(map[string]bool)
+		}
+		byTs[ts][r[4].AsText()] = true
+		return true
+	})
+	out := make(map[int64][]string, len(byTs))
+	for ts, set := range byTs {
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out[ts] = names
+	}
+	return out
+}
+
+// Close flushes and closes the session's durable resources.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}
+
+func toScriptValue(v any) script.Value {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case float32:
+		return float64(x)
+	default:
+		return v
+	}
+}

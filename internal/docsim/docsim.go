@@ -1,0 +1,255 @@
+// Package docsim synthesizes the document-intelligence corpus the paper's
+// PDF Parser demo runs on (§4): multi-page documents whose pages carry text
+// from either a clean embedded-text source ("TXT") or a noisy OCR pass
+// ("OCR"), with headings, page numbers, and a first-page signal.
+//
+// The paper uses real PDFs; we have none offline. The generator preserves
+// everything the pipeline's code paths exercise: per-document page loops
+// (Figure 3), extractable features (headings, page_numbers, text_src),
+// a learnable first-page-classification task (Figure 5 trains a page
+// classifier), and stable document identities for the feedback UI
+// (Figure 6's page_color corrections).
+package docsim
+
+import (
+	"fmt"
+	"strings"
+
+	"flordb/internal/mlsim"
+)
+
+// Page is one page of a synthetic document.
+type Page struct {
+	DocName   string
+	Number    int // 0-based within the document
+	TextSrc   string
+	Text      string
+	Heading   string
+	FirstPage bool
+}
+
+// Document is a synthetic multi-page document.
+type Document struct {
+	Name  string
+	Pages []Page
+}
+
+// Corpus is a set of documents.
+type Corpus struct {
+	Docs []Document
+}
+
+// Config tunes corpus generation.
+type Config struct {
+	NumDocs  int
+	MinPages int
+	MaxPages int
+	// OCRFraction of pages come from the (noisy) OCR source.
+	OCRFraction float64
+	Seed        uint64
+}
+
+// DefaultConfig matches the scale of the paper's demo corpus.
+func DefaultConfig() Config {
+	return Config{NumDocs: 8, MinPages: 3, MaxPages: 9, OCRFraction: 0.4, Seed: 1}
+}
+
+var headingWords = []string{
+	"Introduction", "Background", "Motion", "Declaration", "Exhibit",
+	"Findings", "Order", "Summary", "Appendix", "Testimony",
+}
+
+var bodyWords = []string{
+	"court", "evidence", "record", "defendant", "plaintiff", "filed",
+	"pursuant", "hereby", "motion", "document", "page", "case", "counsel",
+	"exhibit", "sworn", "statement", "date", "signature", "county", "state",
+}
+
+// Generate builds a deterministic corpus.
+func Generate(cfg Config) *Corpus {
+	if cfg.NumDocs < 1 || cfg.MinPages < 1 || cfg.MaxPages < cfg.MinPages {
+		panic(fmt.Sprintf("docsim: bad config %+v", cfg))
+	}
+	rng := mlsim.NewRNG(cfg.Seed)
+	corpus := &Corpus{}
+	for d := 0; d < cfg.NumDocs; d++ {
+		name := fmt.Sprintf("doc%03d.pdf", d)
+		n := cfg.MinPages + rng.Intn(cfg.MaxPages-cfg.MinPages+1)
+		doc := Document{Name: name}
+		for p := 0; p < n; p++ {
+			src := "TXT"
+			if rng.Float64() < cfg.OCRFraction {
+				src = "OCR"
+			}
+			heading := headingWords[rng.Intn(len(headingWords))]
+			text := synthText(rng, heading, p, src, p == 0)
+			doc.Pages = append(doc.Pages, Page{
+				DocName: name, Number: p, TextSrc: src, Text: text,
+				Heading: heading, FirstPage: p == 0,
+			})
+		}
+		corpus.Docs = append(corpus.Docs, doc)
+	}
+	return corpus
+}
+
+// synthText composes page text: first pages lead with a title block and the
+// heading; OCR pages get character-level noise.
+func synthText(rng *mlsim.RNG, heading string, pageNo int, src string, first bool) string {
+	var sb strings.Builder
+	if first {
+		sb.WriteString("IN THE SUPERIOR COURT\n")
+		sb.WriteString("CASE NO. ")
+		sb.WriteString(fmt.Sprintf("%05d", rng.Intn(100000)))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("# ")
+	sb.WriteString(heading)
+	sb.WriteString("\n")
+	sentences := 3 + rng.Intn(4)
+	for s := 0; s < sentences; s++ {
+		words := 6 + rng.Intn(8)
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(bodyWords[rng.Intn(len(bodyWords))])
+		}
+		sb.WriteString(".\n")
+	}
+	sb.WriteString(fmt.Sprintf("- %d -\n", pageNo+1))
+	text := sb.String()
+	if src == "OCR" {
+		text = ocrNoise(rng, text)
+	}
+	return text
+}
+
+// ocrNoise corrupts ~2% of letters, mimicking OCR substitution errors.
+func ocrNoise(rng *mlsim.RNG, text string) string {
+	b := []byte(text)
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' && rng.Float64() < 0.02 {
+			switch b[i] {
+			case 'o':
+				b[i] = '0'
+			case 'l':
+				b[i] = '1'
+			case 'e':
+				b[i] = 'c'
+			default:
+				b[i] = byte('a' + rng.Intn(26))
+			}
+		}
+	}
+	return string(b)
+}
+
+// Features extracted from a page by the Figure-3 featurizer.
+type Features struct {
+	Headings    []string
+	PageNumbers []int
+	WordCount   int
+	HasCaseNo   bool
+}
+
+// AnalyzeText extracts headings and page numbers from page text — the
+// analyze_text(page_text) call in Figure 3.
+func AnalyzeText(text string) Features {
+	var f Features
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "# ") {
+			f.Headings = append(f.Headings, strings.TrimPrefix(line, "# "))
+		}
+		if strings.HasPrefix(line, "- ") && strings.HasSuffix(line, " -") {
+			var n int
+			if _, err := fmt.Sscanf(line, "- %d -", &n); err == nil {
+				f.PageNumbers = append(f.PageNumbers, n)
+			}
+		}
+		if strings.HasPrefix(line, "CASE NO.") {
+			f.HasCaseNo = true
+		}
+		f.WordCount += len(strings.Fields(line))
+	}
+	return f
+}
+
+// Vectorize turns a page into a fixed-width feature vector for the
+// first-page classifier (Figure 5's training task): character histogram
+// over a small alphabet plus structural features.
+func Vectorize(p Page, dim int) []float64 {
+	if dim < 8 {
+		dim = 8
+	}
+	v := make([]float64, dim)
+	feats := AnalyzeText(p.Text)
+	if feats.HasCaseNo {
+		v[0] = 1
+	}
+	v[1] = float64(len(feats.Headings))
+	v[2] = float64(feats.WordCount) / 100.0
+	if p.TextSrc == "OCR" {
+		v[3] = 1
+	}
+	if strings.Contains(p.Text, "SUPERIOR COURT") {
+		v[4] = 1
+	}
+	v[5] = float64(len(p.Text)) / 1000.0
+	// Character histogram folded into the remaining slots.
+	for i := 0; i < len(p.Text); i++ {
+		c := p.Text[i]
+		if c >= 'a' && c <= 'z' {
+			v[6+int(c-'a')%(dim-6)]++
+		}
+	}
+	for i := 6; i < dim; i++ {
+		v[i] /= 50.0
+	}
+	return v
+}
+
+// ToDataset converts a corpus into a first-page classification dataset.
+func (c *Corpus) ToDataset(dim int) *mlsim.Dataset {
+	d := &mlsim.Dataset{Classes: 2}
+	for _, doc := range c.Docs {
+		for _, p := range doc.Pages {
+			d.X = append(d.X, Vectorize(p, dim))
+			y := 0
+			if p.FirstPage {
+				y = 1
+			}
+			d.Y = append(d.Y, y)
+		}
+	}
+	return d
+}
+
+// NumPages counts pages across the corpus.
+func (c *Corpus) NumPages() int {
+	n := 0
+	for _, d := range c.Docs {
+		n += len(d.Pages)
+	}
+	return n
+}
+
+// DocNames lists document names in order.
+func (c *Corpus) DocNames() []string {
+	out := make([]string, len(c.Docs))
+	for i, d := range c.Docs {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Doc returns a document by name.
+func (c *Corpus) Doc(name string) (*Document, bool) {
+	for i := range c.Docs {
+		if c.Docs[i].Name == name {
+			return &c.Docs[i], true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,182 @@
+package docsim
+
+import (
+	"strings"
+	"testing"
+
+	"flordb/internal/mlsim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if len(a.Docs) != len(b.Docs) {
+		t.Fatal("doc counts differ")
+	}
+	for i := range a.Docs {
+		if len(a.Docs[i].Pages) != len(b.Docs[i].Pages) {
+			t.Fatalf("doc %d page counts differ", i)
+		}
+		for j := range a.Docs[i].Pages {
+			if a.Docs[i].Pages[j].Text != b.Docs[i].Pages[j].Text {
+				t.Fatalf("doc %d page %d text differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{NumDocs: 5, MinPages: 2, MaxPages: 4, OCRFraction: 0.5, Seed: 9}
+	c := Generate(cfg)
+	if len(c.Docs) != 5 {
+		t.Fatalf("docs = %d", len(c.Docs))
+	}
+	for _, d := range c.Docs {
+		if len(d.Pages) < 2 || len(d.Pages) > 4 {
+			t.Fatalf("pages = %d", len(d.Pages))
+		}
+		if !d.Pages[0].FirstPage {
+			t.Fatal("page 0 must be first page")
+		}
+		for i, p := range d.Pages {
+			if i > 0 && p.FirstPage {
+				t.Fatal("non-zero page marked first")
+			}
+			if p.TextSrc != "TXT" && p.TextSrc != "OCR" {
+				t.Fatalf("text_src = %q", p.TextSrc)
+			}
+			if p.DocName != d.Name || p.Number != i {
+				t.Fatalf("page identity: %+v", p)
+			}
+		}
+	}
+}
+
+func TestOCRFractionRoughlyHolds(t *testing.T) {
+	c := Generate(Config{NumDocs: 40, MinPages: 5, MaxPages: 5, OCRFraction: 0.4, Seed: 3})
+	ocr := 0
+	for _, d := range c.Docs {
+		for _, p := range d.Pages {
+			if p.TextSrc == "OCR" {
+				ocr++
+			}
+		}
+	}
+	frac := float64(ocr) / float64(c.NumPages())
+	if frac < 0.3 || frac > 0.5 {
+		t.Fatalf("OCR fraction = %v", frac)
+	}
+}
+
+func TestAnalyzeTextExtractsFeatures(t *testing.T) {
+	c := Generate(DefaultConfig())
+	p := c.Docs[0].Pages[0]
+	f := AnalyzeText(p.Text)
+	if len(f.Headings) == 0 {
+		t.Fatalf("no headings in:\n%s", p.Text)
+	}
+	if f.Headings[0] != p.Heading && p.TextSrc == "TXT" {
+		t.Fatalf("heading mismatch: %v vs %s", f.Headings, p.Heading)
+	}
+	if p.TextSrc == "TXT" && (len(f.PageNumbers) != 1 || f.PageNumbers[0] != 1) {
+		t.Fatalf("page numbers: %v", f.PageNumbers)
+	}
+	if !f.HasCaseNo {
+		t.Fatal("first page must carry a case number")
+	}
+	if f.WordCount == 0 {
+		t.Fatal("word count zero")
+	}
+	// Non-first page lacks the case number.
+	f2 := AnalyzeText(c.Docs[0].Pages[1].Text)
+	if f2.HasCaseNo {
+		t.Fatal("non-first page should lack case number")
+	}
+}
+
+func TestVectorizeShapeAndSignal(t *testing.T) {
+	c := Generate(DefaultConfig())
+	first := Vectorize(c.Docs[0].Pages[0], 16)
+	rest := Vectorize(c.Docs[0].Pages[1], 16)
+	if len(first) != 16 || len(rest) != 16 {
+		t.Fatal("vector width")
+	}
+	// The case-number feature separates first pages.
+	if first[0] != 1 || rest[0] != 0 {
+		t.Fatalf("first-page signal: %v vs %v", first[0], rest[0])
+	}
+	// Degenerate dim is clamped.
+	if len(Vectorize(c.Docs[0].Pages[0], 2)) != 8 {
+		t.Fatal("dim clamp")
+	}
+}
+
+func TestToDatasetAndLearnability(t *testing.T) {
+	c := Generate(Config{NumDocs: 30, MinPages: 4, MaxPages: 6, OCRFraction: 0.4, Seed: 11})
+	d := c.ToDataset(16)
+	if d.Len() != c.NumPages() {
+		t.Fatalf("dataset size %d != pages %d", d.Len(), c.NumPages())
+	}
+	firsts := 0
+	for _, y := range d.Y {
+		if y == 1 {
+			firsts++
+		}
+	}
+	if firsts != 30 {
+		t.Fatalf("first pages = %d", firsts)
+	}
+	// The first-page task must be learnable: train a small net.
+	rng := mlsim.NewRNG(5)
+	train, test := d.Split(0.3, rng)
+	m := mlsim.NewMLP(16, 12, 2, rng)
+	opt := mlsim.NewSGD(m, 0.05, 0.9)
+	for epoch := 0; epoch < 10; epoch++ {
+		for _, b := range train.Shuffled(rng).Batches(16) {
+			opt.Step(m, b.X, b.Y)
+		}
+	}
+	acc := mlsim.Evaluate(m, test).Accuracy
+	if acc < 0.9 {
+		t.Fatalf("first-page classifier accuracy = %v", acc)
+	}
+}
+
+func TestOCRNoiseActuallyCorrupts(t *testing.T) {
+	c := Generate(Config{NumDocs: 20, MinPages: 3, MaxPages: 3, OCRFraction: 1.0, Seed: 2})
+	sawNoise := false
+	for _, d := range c.Docs {
+		for _, p := range d.Pages {
+			if strings.ContainsAny(p.Text, "01") && p.TextSrc == "OCR" {
+				sawNoise = true
+			}
+		}
+	}
+	if !sawNoise {
+		t.Fatal("OCR noise never appeared")
+	}
+}
+
+func TestCorpusLookups(t *testing.T) {
+	c := Generate(DefaultConfig())
+	names := c.DocNames()
+	if len(names) != len(c.Docs) || names[0] != "doc000.pdf" {
+		t.Fatalf("names: %v", names)
+	}
+	d, ok := c.Doc("doc000.pdf")
+	if !ok || d.Name != "doc000.pdf" {
+		t.Fatal("doc lookup failed")
+	}
+	if _, ok := c.Doc("missing.pdf"); ok {
+		t.Fatal("missing doc lookup must fail")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Config{NumDocs: 0, MinPages: 1, MaxPages: 1})
+}

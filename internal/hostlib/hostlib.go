@@ -1,0 +1,251 @@
+// Package hostlib registers the domain host functions Flow pipelines call:
+// corpus access (the paper's os.listdir / read_page in Figure 3),
+// featurization (analyze_text), and model training (Figure 5's net,
+// optimizer, train/eval steps) — all backed by the docsim and mlsim
+// substrates. The CLI, the examples, and the benchmarks share this library
+// so recorded runs and hindsight replays see identical host semantics.
+package hostlib
+
+import (
+	"fmt"
+
+	"flordb/internal/docsim"
+	"flordb/internal/mlsim"
+	"flordb/internal/script"
+)
+
+// State carries the corpus and datasets host functions operate on.
+type State struct {
+	Corpus  *docsim.Corpus
+	Dim     int
+	Train   *mlsim.Dataset
+	Test    *mlsim.Dataset
+	SeedRNG uint64
+}
+
+// NewState builds the standard demo state: a synthetic corpus and a
+// train/test split of its first-page classification dataset.
+func NewState(cfg docsim.Config, dim int) *State {
+	corpus := docsim.Generate(cfg)
+	data := corpus.ToDataset(dim)
+	train, test := data.Split(0.3, mlsim.NewRNG(cfg.Seed+1000))
+	return &State{Corpus: corpus, Dim: dim, Train: train, Test: test, SeedRNG: cfg.Seed}
+}
+
+// Registrar is anything host functions can be registered on (a flor.Session
+// or a script.Interp).
+type Registrar interface {
+	RegisterHost(name string, fn script.HostFunc)
+}
+
+// Register installs the host library.
+func Register(r Registrar, st *State) {
+	// ---- corpus access (Figure 3) ----
+	r.RegisterHost("listdir", func([]script.Value, map[string]script.Value) (script.Value, error) {
+		names := st.Corpus.DocNames()
+		items := make([]script.Value, len(names))
+		for i, n := range names {
+			items[i] = n
+		}
+		return script.NewList(items...), nil
+	})
+	r.RegisterHost("num_pages", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		doc, err := docArg(st, args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return int64(len(doc.Pages)), nil
+	})
+	// read_page(doc, page) -> [text_src, page_text]
+	r.RegisterHost("read_page", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		doc, err := docArg(st, args, 0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := intArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		if p < 0 || int(p) >= len(doc.Pages) {
+			return nil, fmt.Errorf("read_page: page %d out of range", p)
+		}
+		page := doc.Pages[p]
+		return script.NewList(page.TextSrc, page.Text), nil
+	})
+	// analyze_text(text) -> {"headings": [...], "page_numbers": [...]}
+	r.RegisterHost("analyze_text", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		text, err := strArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		f := docsim.AnalyzeText(text)
+		headings := make([]script.Value, len(f.Headings))
+		for i, h := range f.Headings {
+			headings[i] = h
+		}
+		nums := make([]script.Value, len(f.PageNumbers))
+		for i, n := range f.PageNumbers {
+			nums[i] = int64(n)
+		}
+		d := script.NewDict()
+		d.Set("headings", script.NewList(headings...))
+		d.Set("page_numbers", script.NewList(nums...))
+		d.Set("word_count", int64(f.WordCount))
+		d.Set("has_case_no", f.HasCaseNo)
+		return d, nil
+	})
+	r.RegisterHost("is_first_page", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		doc, err := docArg(st, args, 0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := intArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		if p < 0 || int(p) >= len(doc.Pages) {
+			return nil, fmt.Errorf("is_first_page: page %d out of range", p)
+		}
+		return doc.Pages[p].FirstPage, nil
+	})
+
+	// ---- model training (Figure 5) ----
+	// make_mlp(hidden, seed) -> model over the corpus feature space
+	r.RegisterHost("make_mlp", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		hidden, err := intArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := intArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return mlsim.NewMLP(st.Dim, int(hidden), 2, mlsim.NewRNG(uint64(seed))), nil
+	})
+	r.RegisterHost("make_sgd", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		m, ok := argAt(args, 0).(*mlsim.MLP)
+		if !ok {
+			return nil, fmt.Errorf("make_sgd: first argument must be a model")
+		}
+		lr, err := floatArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		momentum, err := floatArg(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		return mlsim.NewSGD(m, lr, momentum), nil
+	})
+	// batches(batch_size, epoch_seed) -> list of Batch host objects
+	r.RegisterHost("batches", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		size, err := intArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := intArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		shuffled := st.Train.Shuffled(mlsim.NewRNG(st.SeedRNG ^ uint64(seed)*0x9e37))
+		bs := shuffled.Batches(int(size))
+		items := make([]script.Value, len(bs))
+		for i := range bs {
+			items[i] = &bs[i]
+		}
+		return script.NewList(items...), nil
+	})
+	// train_step(model, opt, batch) -> loss
+	r.RegisterHost("train_step", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		m, ok := argAt(args, 0).(*mlsim.MLP)
+		if !ok {
+			return nil, fmt.Errorf("train_step: bad model")
+		}
+		opt, ok := argAt(args, 1).(*mlsim.SGD)
+		if !ok {
+			return nil, fmt.Errorf("train_step: bad optimizer")
+		}
+		b, ok := argAt(args, 2).(*mlsim.Batch)
+		if !ok {
+			return nil, fmt.Errorf("train_step: bad batch")
+		}
+		return opt.Step(m, b.X, b.Y), nil
+	})
+	// eval_model(model) -> [acc, recall]
+	r.RegisterHost("eval_model", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		m, ok := argAt(args, 0).(*mlsim.MLP)
+		if !ok {
+			return nil, fmt.Errorf("eval_model: bad model")
+		}
+		met := mlsim.Evaluate(m, st.Test)
+		return script.NewList(met.Accuracy, met.MacroRecall), nil
+	})
+	r.RegisterHost("weight_norm", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		m, ok := argAt(args, 0).(*mlsim.MLP)
+		if !ok {
+			return nil, fmt.Errorf("weight_norm: bad model")
+		}
+		return m.WeightNorm(), nil
+	})
+	// predict_first_pages(model, doc_name) -> list of 0/1 per page
+	r.RegisterHost("predict_first_pages", func(args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		m, ok := argAt(args, 0).(*mlsim.MLP)
+		if !ok {
+			return nil, fmt.Errorf("predict_first_pages: bad model")
+		}
+		doc, err := docArg(st, args, 1)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]script.Value, len(doc.Pages))
+		for i, p := range doc.Pages {
+			items[i] = int64(m.Predict(docsim.Vectorize(p, st.Dim)))
+		}
+		return script.NewList(items...), nil
+	})
+}
+
+func argAt(args []script.Value, i int) script.Value {
+	if i >= len(args) {
+		return nil
+	}
+	return args[i]
+}
+
+func docArg(st *State, args []script.Value, i int) (*docsim.Document, error) {
+	name, err := strArg(args, i)
+	if err != nil {
+		return nil, err
+	}
+	doc, ok := st.Corpus.Doc(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown document %q", name)
+	}
+	return doc, nil
+}
+
+func strArg(args []script.Value, i int) (string, error) {
+	s, ok := argAt(args, i).(string)
+	if !ok {
+		return "", fmt.Errorf("argument %d: expected string", i)
+	}
+	return s, nil
+}
+
+func intArg(args []script.Value, i int) (int64, error) {
+	n, ok := argAt(args, i).(int64)
+	if !ok {
+		return 0, fmt.Errorf("argument %d: expected integer", i)
+	}
+	return n, nil
+}
+
+func floatArg(args []script.Value, i int) (float64, error) {
+	switch x := argAt(args, i).(type) {
+	case float64:
+		return x, nil
+	case int64:
+		return float64(x), nil
+	}
+	return 0, fmt.Errorf("argument %d: expected number", i)
+}

@@ -1,0 +1,232 @@
+package hostlib
+
+import (
+	"testing"
+
+	flor "flordb"
+	"flordb/internal/docsim"
+	"flordb/internal/replay"
+)
+
+func demoState() *State {
+	return NewState(docsim.Config{NumDocs: 6, MinPages: 3, MaxPages: 5, OCRFraction: 0.4, Seed: 2}, 16)
+}
+
+func newSess(t *testing.T) (*flor.Session, *State) {
+	t.Helper()
+	sess, err := flor.OpenMemory("pdf", flor.Options{Policy: replay.EveryN{N: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := demoState()
+	Register(sess, st)
+	RegisterFlorQueries(sess, sess)
+	return sess, st
+}
+
+func TestFeaturizeScriptFigure3(t *testing.T) {
+	sess, st := newSess(t)
+	if err := sess.RunScript("featurize.flow", FeaturizeSrc); err != nil {
+		t.Fatal(err)
+	}
+	df, err := sess.Dataframe("text_src", "page_text", "headings", "page_numbers", "first_page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Len() != st.Corpus.NumPages() {
+		t.Fatalf("rows = %d want %d\n", df.Len(), st.Corpus.NumPages())
+	}
+	// Dimension columns match Figure 3's dataframe.
+	for _, col := range []string{"document_value", "page_value", "text_src", "page_text"} {
+		if df.Index(col) < 0 {
+			t.Fatalf("missing column %s: %v", col, df.Columns)
+		}
+	}
+	// first_page true exactly once per document.
+	fi := df.Index("first_page")
+	di := df.Index("document_value")
+	counts := map[string]int{}
+	for _, r := range df.Rows {
+		if r[fi].AsBool() {
+			counts[r[di].AsText()]++
+		}
+	}
+	for doc, n := range counts {
+		if n != 1 {
+			t.Fatalf("doc %s has %d first pages", doc, n)
+		}
+	}
+	if len(counts) != len(st.Corpus.Docs) {
+		t.Fatalf("first pages found for %d docs", len(counts))
+	}
+}
+
+func TestTrainScriptFigure5(t *testing.T) {
+	sess, _ := newSess(t)
+	if err := sess.RunScript("train.flow", TrainSrc); err != nil {
+		t.Fatal(err)
+	}
+	df, err := sess.Dataframe("acc", "recall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Len() != 5 { // default epochs
+		t.Fatalf("epoch rows = %d", df.Len())
+	}
+	accs, _ := df.Column("acc")
+	// Training must actually learn: final accuracy high.
+	final := accs[len(accs)-1].AsFloat()
+	if final < 0.85 {
+		t.Fatalf("final acc = %v", final)
+	}
+	// Checkpoints exist for every epoch (model+optimizer in one blob each).
+	res, err := sess.SQL("SELECT count(*) AS n FROM obj_store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 5 {
+		t.Fatalf("checkpoints: %v", res.Rows)
+	}
+	// Loss logged at step level with both loop dims.
+	ldf, err := sess.Dataframe("loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldf.Index("epoch_value") < 0 || ldf.Index("step_value") < 0 {
+		t.Fatalf("loss dims: %v", ldf.Columns)
+	}
+}
+
+func TestTrainArgsOverride(t *testing.T) {
+	sess, err := flor.OpenMemory("pdf", flor.Options{
+		Policy: replay.EveryN{N: 1},
+		Args:   map[string]string{"epochs": "2", "hidden": "8"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Register(sess, demoState())
+	if err := sess.RunScript("train.flow", TrainSrc); err != nil {
+		t.Fatal(err)
+	}
+	df, _ := sess.Dataframe("acc")
+	if df.Len() != 2 {
+		t.Fatalf("epochs override: %d rows", df.Len())
+	}
+}
+
+func TestInferScriptUsesBestCheckpoint(t *testing.T) {
+	sess, st := newSess(t)
+	// Two training runs with different seeds produce different quality.
+	if err := sess.RunScript("train.flow", TrainSrc); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit("run 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunScript("train.flow", TrainSrc); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit("run 2"); err != nil {
+		t.Fatal(err)
+	}
+	// Inference restores the best-by-recall checkpoint and predicts.
+	if err := sess.RunScript("infer.flow", InferSrc); err != nil {
+		t.Fatal(err)
+	}
+	df, err := sess.Dataframe("num_first_pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Len() != len(st.Corpus.Docs) {
+		t.Fatalf("prediction rows = %d", df.Len())
+	}
+	// The restored model is good: most docs predicted with exactly 1 first page.
+	vals, _ := df.Column("num_first_pages")
+	correct := 0
+	for _, v := range vals {
+		if v.AsInt() == 1 {
+			correct++
+		}
+	}
+	if correct < len(vals)*2/3 {
+		t.Fatalf("restored model too weak: %d/%d docs correct", correct, len(vals))
+	}
+}
+
+func TestBestCheckpointQuery(t *testing.T) {
+	sess, _ := newSess(t)
+	if err := sess.RunScript("train.flow", TrainSrc); err != nil {
+		t.Fatal(err)
+	}
+	ts, epoch, val, err := BestCheckpoint(sess, "acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != sess.Tstamp() || epoch < 0 || epoch > 4 || val <= 0 {
+		t.Fatalf("best: ts=%d epoch=%d val=%v", ts, epoch, val)
+	}
+	if _, _, _, err := BestCheckpoint(sess, "never_logged"); err == nil {
+		t.Fatal("missing metric must error")
+	}
+}
+
+func TestHindsightWeightNormEndToEnd(t *testing.T) {
+	// The paper's headline demo, on the real ML substrate: train 2 versions,
+	// then backfill weight_norm into both from checkpoints.
+	sess, _ := newSess(t)
+	for v := 0; v < 2; v++ {
+		if err := sess.RunScript("train.flow", TrainSrc); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Commit("run"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reports, err := sess.Hindsight("train.flow", TrainSrcWithNorm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if rep.Err != nil {
+			t.Fatalf("version %s: %v", rep.VID[:8], rep.Err)
+		}
+		if rep.Mode != "coarse" {
+			t.Fatalf("mode = %s (weight_norm is outside the inner loop)", rep.Mode)
+		}
+		if rep.Stats.LogsEmitted != 5 {
+			t.Fatalf("logs = %d", rep.Stats.LogsEmitted)
+		}
+		if rep.Stats.InnerLoopsSkipped != 5 {
+			t.Fatalf("inner loops skipped = %d", rep.Stats.InnerLoopsSkipped)
+		}
+	}
+	df, err := sess.Dataframe("weight_norm", "acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Len() != 10 { // 2 versions x 5 epochs
+		t.Fatalf("rows = %d", df.Len())
+	}
+	wi := df.Index("weight_norm")
+	for _, r := range df.Rows {
+		if r[wi].IsNull() || r[wi].AsFloat() <= 0 {
+			t.Fatalf("weight_norm missing or bad: %v", r)
+		}
+	}
+	// Norms must grow across epochs within a version (training moves weights).
+	ti, ei := df.Index("tstamp"), df.Index("epoch_value")
+	byVersion := map[int64]map[string]float64{}
+	for _, r := range df.Rows {
+		ts := r[ti].AsInt()
+		if byVersion[ts] == nil {
+			byVersion[ts] = map[string]float64{}
+		}
+		byVersion[ts][r[ei].AsText()] = r[wi].AsFloat()
+	}
+	for ts, norms := range byVersion {
+		if norms["0"] == norms["4"] {
+			t.Fatalf("version %d: norms identical across epochs (restore broken?)", ts)
+		}
+	}
+}

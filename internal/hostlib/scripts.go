@@ -1,0 +1,95 @@
+package hostlib
+
+// Canonical Flow pipeline scripts used by the CLI, examples, tests and
+// benchmarks. They transliterate the paper's figures into Flow.
+
+// FeaturizeSrc is Figure 3: per-document, per-page featurization.
+const FeaturizeSrc = `
+# featurize.flow — Figure 3 of the paper
+for doc_name in flor.loop("document", listdir()) {
+    N = num_pages(doc_name)
+    for page in flor.loop("page", range(N)) {
+        # text_src is "OCR" or "TXT"
+        pair = read_page(doc_name, page)
+        text_src = pair[0]
+        page_text = pair[1]
+        flor.log("text_src", text_src)
+        flor.log("page_text", page_text)
+
+        # Run some featurization
+        feats = analyze_text(page_text)
+        flor.log("headings", join(feats["headings"], "|"))
+        flor.log("page_numbers", len(feats["page_numbers"]))
+        flor.log("first_page", is_first_page(doc_name, page))
+    }
+}
+`
+
+// TrainSrc is Figure 5: training with checkpointing and metric logging.
+const TrainSrc = `
+# train.flow — Figure 5 of the paper
+hidden_size = flor.arg("hidden", 32)
+num_epochs = flor.arg("epochs", 5)
+batch_size = flor.arg("batch_size", 16)
+learning_rate = flor.arg("lr", 0.05)
+seed = flor.arg("seed", 7)
+
+net = make_mlp(hidden_size, seed)
+optimizer = make_sgd(net, learning_rate, 0.9)
+
+with flor.checkpointing(model=net, optimizer=optimizer) {
+    for epoch in flor.loop("epoch", range(num_epochs)) {
+        for data in flor.loop("step", batches(batch_size, epoch)) {
+            loss = train_step(net, optimizer, data)
+            flor.log("loss", loss)
+        }
+        metrics = eval_model(net)
+        flor.log("acc", metrics[0])
+        flor.log("recall", metrics[1])
+    }
+}
+`
+
+// TrainSrcWithNorm is TrainSrc plus a hindsight statement: the developer
+// later realizes they want the model's weight norm per epoch.
+const TrainSrcWithNorm = `
+# train.flow — Figure 5 plus a hindsight weight_norm log
+hidden_size = flor.arg("hidden", 32)
+num_epochs = flor.arg("epochs", 5)
+batch_size = flor.arg("batch_size", 16)
+learning_rate = flor.arg("lr", 0.05)
+seed = flor.arg("seed", 7)
+
+net = make_mlp(hidden_size, seed)
+optimizer = make_sgd(net, learning_rate, 0.9)
+
+with flor.checkpointing(model=net, optimizer=optimizer) {
+    for epoch in flor.loop("epoch", range(num_epochs)) {
+        for data in flor.loop("step", batches(batch_size, epoch)) {
+            loss = train_step(net, optimizer, data)
+            flor.log("loss", loss)
+        }
+        norm = weight_norm(net)
+        flor.log("weight_norm", norm)
+        metrics = eval_model(net)
+        flor.log("acc", metrics[0])
+        flor.log("recall", metrics[1])
+    }
+}
+`
+
+// InferSrc is the §4.2 inference pipeline: pick the best checkpoint by
+// recall from the dataframe, then log predictions per document.
+const InferSrc = `
+# infer.flow — §4.2 inference using the best model by validation recall
+hidden_size = flor.arg("hidden", 32)
+seed = flor.arg("seed", 7)
+net = make_mlp(hidden_size, seed)
+restore_best(net, "recall")
+
+for doc_name in flor.loop("document", listdir()) {
+    preds = predict_first_pages(net, doc_name)
+    flor.log("num_first_pages", sum(preds))
+    flor.log("pred_doc", doc_name)
+}
+`

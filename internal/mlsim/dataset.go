@@ -1,0 +1,137 @@
+package mlsim
+
+import "fmt"
+
+// Dataset is a labeled feature matrix.
+type Dataset struct {
+	X       [][]float64
+	Y       []int
+	Classes int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Split partitions into train/test by fraction with a deterministic shuffle.
+func (d *Dataset) Split(testFrac float64, rng *RNG) (train, test *Dataset) {
+	perm := rng.Perm(d.Len())
+	nTest := int(float64(d.Len()) * testFrac)
+	test = &Dataset{Classes: d.Classes}
+	train = &Dataset{Classes: d.Classes}
+	for i, idx := range perm {
+		if i < nTest {
+			test.X = append(test.X, d.X[idx])
+			test.Y = append(test.Y, d.Y[idx])
+		} else {
+			train.X = append(train.X, d.X[idx])
+			train.Y = append(train.Y, d.Y[idx])
+		}
+	}
+	return train, test
+}
+
+// Batches partitions the dataset into minibatches of at most size examples,
+// in order (shuffle beforehand if desired).
+func (d *Dataset) Batches(size int) []Batch {
+	if size < 1 {
+		size = 1
+	}
+	var out []Batch
+	for start := 0; start < d.Len(); start += size {
+		end := start + size
+		if end > d.Len() {
+			end = d.Len()
+		}
+		out = append(out, Batch{X: d.X[start:end], Y: d.Y[start:end]})
+	}
+	return out
+}
+
+// Shuffled returns a deterministically shuffled copy.
+func (d *Dataset) Shuffled(rng *RNG) *Dataset {
+	perm := rng.Perm(d.Len())
+	out := &Dataset{Classes: d.Classes, X: make([][]float64, d.Len()), Y: make([]int, d.Len())}
+	for i, idx := range perm {
+		out.X[i] = d.X[idx]
+		out.Y[i] = d.Y[idx]
+	}
+	return out
+}
+
+// Batch is one minibatch.
+type Batch struct {
+	X [][]float64
+	Y []int
+}
+
+// SyntheticBlobs generates a Gaussian-blob classification problem: classes
+// centered on distinct prototypes with additive noise — the stand-in for the
+// paper's page-image classification task. Lower noise = easier task.
+func SyntheticBlobs(n, dim, classes int, noise float64, rng *RNG) *Dataset {
+	if classes < 2 || dim < 1 || n < classes {
+		panic(fmt.Sprintf("mlsim: bad blob parameters n=%d dim=%d classes=%d", n, dim, classes))
+	}
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64() * 2
+		}
+	}
+	d := &Dataset{Classes: classes}
+	for i := 0; i < n; i++ {
+		c := i % classes
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = centers[c][j] + rng.NormFloat64()*noise
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, c)
+	}
+	return d
+}
+
+// Metrics bundles evaluation results.
+type Metrics struct {
+	Accuracy    float64
+	MacroRecall float64
+	Confusion   [][]int
+}
+
+// Evaluate computes accuracy and macro-averaged recall (the paper logs
+// "acc" and "recall" per epoch in Figure 5).
+func Evaluate(m *MLP, d *Dataset) Metrics {
+	conf := make([][]int, d.Classes)
+	for i := range conf {
+		conf[i] = make([]int, d.Classes)
+	}
+	correct := 0
+	for i, x := range d.X {
+		pred := m.Predict(x)
+		conf[d.Y[i]][pred]++
+		if pred == d.Y[i] {
+			correct++
+		}
+	}
+	var recallSum float64
+	counted := 0
+	for c := 0; c < d.Classes; c++ {
+		var total int
+		for _, v := range conf[c] {
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		recallSum += float64(conf[c][c]) / float64(total)
+		counted++
+	}
+	metrics := Metrics{Confusion: conf}
+	if d.Len() > 0 {
+		metrics.Accuracy = float64(correct) / float64(d.Len())
+	}
+	if counted > 0 {
+		metrics.MacroRecall = recallSum / float64(counted)
+	}
+	return metrics
+}

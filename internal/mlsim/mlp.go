@@ -1,0 +1,287 @@
+package mlsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MLP is a feed-forward classifier: input -> hidden (ReLU) -> output
+// (softmax). It implements script.Snapshotter so it can be checkpointed by
+// flor.checkpointing.
+type MLP struct {
+	In, Hidden, Out int
+	// W1 [Hidden][In], B1 [Hidden], W2 [Out][Hidden], B2 [Out], flattened
+	// row-major.
+	W1, B1, W2, B2 []float64
+}
+
+// NewMLP initializes a network with He-scaled random weights.
+func NewMLP(in, hidden, out int, rng *RNG) *MLP {
+	m := &MLP{
+		In: in, Hidden: hidden, Out: out,
+		W1: make([]float64, hidden*in),
+		B1: make([]float64, hidden),
+		W2: make([]float64, out*hidden),
+		B2: make([]float64, out),
+	}
+	s1 := math.Sqrt(2.0 / float64(in))
+	for i := range m.W1 {
+		m.W1[i] = rng.NormFloat64() * s1
+	}
+	s2 := math.Sqrt(2.0 / float64(hidden))
+	for i := range m.W2 {
+		m.W2[i] = rng.NormFloat64() * s2
+	}
+	return m
+}
+
+// Forward computes hidden activations and output logits for one input.
+// The hidden slice is returned so backprop can reuse it.
+func (m *MLP) Forward(x []float64) (hidden, logits []float64) {
+	hidden = make([]float64, m.Hidden)
+	for h := 0; h < m.Hidden; h++ {
+		sum := m.B1[h]
+		row := m.W1[h*m.In : (h+1)*m.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		if sum > 0 {
+			hidden[h] = sum
+		}
+	}
+	logits = make([]float64, m.Out)
+	for o := 0; o < m.Out; o++ {
+		sum := m.B2[o]
+		row := m.W2[o*m.Hidden : (o+1)*m.Hidden]
+		for h, hv := range hidden {
+			sum += row[h] * hv
+		}
+		logits[o] = sum
+	}
+	return hidden, logits
+}
+
+// Predict returns the argmax class for one input.
+func (m *MLP) Predict(x []float64) int {
+	_, logits := m.Forward(x)
+	return argmax(logits)
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Softmax converts logits into probabilities (numerically stabilized).
+func Softmax(logits []float64) []float64 {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// WeightNorm returns the L2 norm of all parameters — a cheap scalar
+// fingerprint of model state, handy for hindsight logging demos.
+func (m *MLP) WeightNorm() float64 {
+	var sum float64
+	for _, w := range m.W1 {
+		sum += w * w
+	}
+	for _, w := range m.B1 {
+		sum += w * w
+	}
+	for _, w := range m.W2 {
+		sum += w * w
+	}
+	for _, w := range m.B2 {
+		sum += w * w
+	}
+	return math.Sqrt(sum)
+}
+
+// Snapshot implements script.Snapshotter with a compact binary encoding.
+func (m *MLP) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	dims := []int64{int64(m.In), int64(m.Hidden), int64(m.Out)}
+	for _, d := range dims {
+		if err := binary.Write(&buf, binary.LittleEndian, d); err != nil {
+			return nil, err
+		}
+	}
+	for _, arr := range [][]float64{m.W1, m.B1, m.W2, m.B2} {
+		if err := binary.Write(&buf, binary.LittleEndian, arr); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements script.Snapshotter.
+func (m *MLP) Restore(data []byte) error {
+	buf := bytes.NewReader(data)
+	var in, hidden, out int64
+	for _, p := range []*int64{&in, &hidden, &out} {
+		if err := binary.Read(buf, binary.LittleEndian, p); err != nil {
+			return fmt.Errorf("mlsim: restore dims: %w", err)
+		}
+	}
+	if int(in) != m.In || int(hidden) != m.Hidden || int(out) != m.Out {
+		return fmt.Errorf("mlsim: checkpoint shape (%d,%d,%d) != model shape (%d,%d,%d)",
+			in, hidden, out, m.In, m.Hidden, m.Out)
+	}
+	for _, arr := range [][]float64{m.W1, m.B1, m.W2, m.B2} {
+		if err := binary.Read(buf, binary.LittleEndian, arr); err != nil {
+			return fmt.Errorf("mlsim: restore weights: %w", err)
+		}
+	}
+	return nil
+}
+
+// SGD is a stochastic-gradient-descent optimizer with momentum; it is also a
+// Snapshotter (its velocity buffers are training state, exactly like
+// PyTorch's optimizer state dict in Figure 5).
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vW1, vB1 []float64
+	vW2, vB2 []float64
+}
+
+// NewSGD builds an optimizer for a model.
+func NewSGD(m *MLP, lr, momentum float64) *SGD {
+	return &SGD{
+		LR: lr, Momentum: momentum,
+		vW1: make([]float64, len(m.W1)),
+		vB1: make([]float64, len(m.B1)),
+		vW2: make([]float64, len(m.W2)),
+		vB2: make([]float64, len(m.B2)),
+	}
+}
+
+// Step performs one minibatch update and returns the mean cross-entropy
+// loss over the batch.
+func (opt *SGD) Step(m *MLP, xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	gW1 := make([]float64, len(m.W1))
+	gB1 := make([]float64, len(m.B1))
+	gW2 := make([]float64, len(m.W2))
+	gB2 := make([]float64, len(m.B2))
+	var totalLoss float64
+	for bi, x := range xs {
+		y := ys[bi]
+		hidden, logits := m.Forward(x)
+		probs := Softmax(logits)
+		totalLoss += -math.Log(math.Max(probs[y], 1e-12))
+		// dL/dlogit = probs - onehot(y)
+		dlogits := make([]float64, m.Out)
+		copy(dlogits, probs)
+		dlogits[y] -= 1
+		// Output layer gradients.
+		for o := 0; o < m.Out; o++ {
+			gB2[o] += dlogits[o]
+			row := gW2[o*m.Hidden : (o+1)*m.Hidden]
+			for h, hv := range hidden {
+				row[h] += dlogits[o] * hv
+			}
+		}
+		// Hidden layer gradients through ReLU.
+		dhidden := make([]float64, m.Hidden)
+		for h := 0; h < m.Hidden; h++ {
+			if hidden[h] <= 0 {
+				continue
+			}
+			var sum float64
+			for o := 0; o < m.Out; o++ {
+				sum += dlogits[o] * m.W2[o*m.Hidden+h]
+			}
+			dhidden[h] = sum
+		}
+		for h := 0; h < m.Hidden; h++ {
+			if dhidden[h] == 0 {
+				continue
+			}
+			gB1[h] += dhidden[h]
+			row := gW1[h*m.In : (h+1)*m.In]
+			for i, xi := range x {
+				row[i] += dhidden[h] * xi
+			}
+		}
+	}
+	scale := 1.0 / float64(len(xs))
+	opt.apply(m.W1, gW1, opt.vW1, scale)
+	opt.apply(m.B1, gB1, opt.vB1, scale)
+	opt.apply(m.W2, gW2, opt.vW2, scale)
+	opt.apply(m.B2, gB2, opt.vB2, scale)
+	return totalLoss * scale
+}
+
+func (opt *SGD) apply(w, g, v []float64, scale float64) {
+	for i := range w {
+		v[i] = opt.Momentum*v[i] - opt.LR*g[i]*scale
+		w[i] += v[i]
+	}
+}
+
+// Snapshot implements script.Snapshotter.
+func (opt *SGD) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, opt.LR); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, opt.Momentum); err != nil {
+		return nil, err
+	}
+	for _, arr := range [][]float64{opt.vW1, opt.vB1, opt.vW2, opt.vB2} {
+		if err := binary.Write(&buf, binary.LittleEndian, int64(len(arr))); err != nil {
+			return nil, err
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, arr); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements script.Snapshotter.
+func (opt *SGD) Restore(data []byte) error {
+	buf := bytes.NewReader(data)
+	if err := binary.Read(buf, binary.LittleEndian, &opt.LR); err != nil {
+		return fmt.Errorf("mlsim: restore sgd: %w", err)
+	}
+	if err := binary.Read(buf, binary.LittleEndian, &opt.Momentum); err != nil {
+		return fmt.Errorf("mlsim: restore sgd: %w", err)
+	}
+	for _, arr := range []*[]float64{&opt.vW1, &opt.vB1, &opt.vW2, &opt.vB2} {
+		var n int64
+		if err := binary.Read(buf, binary.LittleEndian, &n); err != nil {
+			return fmt.Errorf("mlsim: restore sgd: %w", err)
+		}
+		*arr = make([]float64, n)
+		if err := binary.Read(buf, binary.LittleEndian, *arr); err != nil {
+			return fmt.Errorf("mlsim: restore sgd: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package mlsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(1)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("variance = %v", variance)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	p := Softmax([]float64{1, 2, 3})
+	var sum float64
+	for _, v := range p {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("prob out of range: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Fatalf("monotonicity: %v", p)
+	}
+	// Large logits must not overflow.
+	p = Softmax([]float64{1000, 1001})
+	if math.IsNaN(p[0]) || math.IsInf(p[1], 0) {
+		t.Fatalf("overflow: %v", p)
+	}
+}
+
+func TestMLPForwardShapes(t *testing.T) {
+	m := NewMLP(4, 8, 3, NewRNG(1))
+	hidden, logits := m.Forward([]float64{1, 2, 3, 4})
+	if len(hidden) != 8 || len(logits) != 3 {
+		t.Fatalf("shapes: %d %d", len(hidden), len(logits))
+	}
+	for _, h := range hidden {
+		if h < 0 {
+			t.Fatal("ReLU output negative")
+		}
+	}
+}
+
+func TestMLPSnapshotRestoreRoundTrip(t *testing.T) {
+	m := NewMLP(4, 8, 3, NewRNG(1))
+	x := []float64{0.5, -0.1, 0.3, 0.9}
+	_, before := m.Forward(x)
+	blob, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb and restore.
+	m.W1[0] = 999
+	m.B2[1] = -999
+	if err := m.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	_, after := m.Forward(x)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("restore not bit-exact: %v vs %v", before, after)
+		}
+	}
+}
+
+func TestMLPRestoreShapeMismatch(t *testing.T) {
+	m := NewMLP(4, 8, 3, NewRNG(1))
+	blob, _ := m.Snapshot()
+	other := NewMLP(4, 16, 3, NewRNG(1))
+	if err := other.Restore(blob); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	if err := m.Restore([]byte{1, 2}); err == nil {
+		t.Fatal("truncated blob must error")
+	}
+}
+
+func TestSGDSnapshotRestore(t *testing.T) {
+	m := NewMLP(4, 8, 3, NewRNG(1))
+	opt := NewSGD(m, 0.1, 0.9)
+	d := SyntheticBlobs(30, 4, 3, 0.3, NewRNG(2))
+	opt.Step(m, d.X[:10], d.Y[:10])
+	blob, err := opt.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := opt.vW1[0]
+	opt.vW1[0] = 123
+	if err := opt.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if opt.vW1[0] != v0 {
+		t.Fatal("velocity not restored")
+	}
+}
+
+func TestTrainingLearnsBlobs(t *testing.T) {
+	rng := NewRNG(7)
+	data := SyntheticBlobs(300, 8, 3, 0.4, rng)
+	train, test := data.Split(0.3, rng)
+	m := NewMLP(8, 16, 3, rng)
+	opt := NewSGD(m, 0.05, 0.9)
+	before := Evaluate(m, test).Accuracy
+	var lastLoss float64
+	for epoch := 0; epoch < 8; epoch++ {
+		shuffled := train.Shuffled(rng)
+		for _, b := range shuffled.Batches(16) {
+			lastLoss = opt.Step(m, b.X, b.Y)
+		}
+	}
+	after := Evaluate(m, test)
+	if after.Accuracy < 0.9 {
+		t.Fatalf("accuracy after training = %v (before %v, loss %v)", after.Accuracy, before, lastLoss)
+	}
+	if after.MacroRecall < 0.85 {
+		t.Fatalf("recall = %v", after.MacroRecall)
+	}
+}
+
+func TestTrainingDeterministicGivenSeed(t *testing.T) {
+	run := func() float64 {
+		rng := NewRNG(99)
+		data := SyntheticBlobs(200, 6, 2, 0.5, rng)
+		train, test := data.Split(0.25, rng)
+		m := NewMLP(6, 12, 2, rng)
+		opt := NewSGD(m, 0.05, 0.9)
+		for epoch := 0; epoch < 4; epoch++ {
+			for _, b := range train.Batches(16) {
+				opt.Step(m, b.X, b.Y)
+			}
+		}
+		return Evaluate(m, test).Accuracy
+	}
+	if run() != run() {
+		t.Fatal("training must be deterministic for fixed seed")
+	}
+}
+
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	// Core replay premise: training 2 epochs straight == training 1 epoch,
+	// checkpointing (model+optimizer), restoring, then 1 more epoch.
+	build := func() (*MLP, *SGD, *Dataset) {
+		rng := NewRNG(5)
+		data := SyntheticBlobs(120, 6, 2, 0.5, rng)
+		m := NewMLP(6, 10, 2, rng)
+		return m, NewSGD(m, 0.05, 0.9), data
+	}
+	epoch := func(m *MLP, opt *SGD, d *Dataset) {
+		for _, b := range d.Batches(20) {
+			opt.Step(m, b.X, b.Y)
+		}
+	}
+
+	m1, o1, d1 := build()
+	epoch(m1, o1, d1)
+	epoch(m1, o1, d1)
+
+	m2, o2, d2 := build()
+	epoch(m2, o2, d2)
+	mBlob, _ := m2.Snapshot()
+	oBlob, _ := o2.Snapshot()
+	// Wreck state, then restore.
+	for i := range m2.W1 {
+		m2.W1[i] = 0
+	}
+	for i := range o2.vW1 {
+		o2.vW1[i] = 42
+	}
+	if err := m2.Restore(mBlob); err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.Restore(oBlob); err != nil {
+		t.Fatal(err)
+	}
+	epoch(m2, o2, d2)
+
+	for i := range m1.W1 {
+		if m1.W1[i] != m2.W1[i] {
+			t.Fatalf("resume-from-checkpoint diverged at W1[%d]: %v vs %v", i, m1.W1[i], m2.W1[i])
+		}
+	}
+}
+
+func TestDatasetSplitAndBatches(t *testing.T) {
+	d := SyntheticBlobs(100, 4, 2, 0.5, NewRNG(3))
+	train, test := d.Split(0.2, NewRNG(4))
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split: %d/%d", train.Len(), test.Len())
+	}
+	batches := train.Batches(32)
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	if len(batches[2].X) != 16 {
+		t.Fatalf("last batch = %d", len(batches[2].X))
+	}
+	total := 0
+	for _, b := range batches {
+		total += len(b.X)
+	}
+	if total != 80 {
+		t.Fatalf("batch union = %d", total)
+	}
+}
+
+func TestEvaluateConfusionMatrix(t *testing.T) {
+	d := SyntheticBlobs(60, 4, 3, 0.1, NewRNG(6))
+	m := NewMLP(4, 12, 3, NewRNG(7))
+	opt := NewSGD(m, 0.1, 0.9)
+	for i := 0; i < 20; i++ {
+		for _, b := range d.Batches(20) {
+			opt.Step(m, b.X, b.Y)
+		}
+	}
+	met := Evaluate(m, d)
+	var total int
+	for _, row := range met.Confusion {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("confusion total = %d", total)
+	}
+	if met.Accuracy < 0.95 {
+		t.Fatalf("easy task accuracy = %v", met.Accuracy)
+	}
+}
+
+func TestWeightNormPositive(t *testing.T) {
+	m := NewMLP(4, 8, 3, NewRNG(1))
+	if m.WeightNorm() <= 0 {
+		t.Fatal("weight norm must be positive")
+	}
+}
+
+func TestEvaluateEmptyDataset(t *testing.T) {
+	m := NewMLP(4, 8, 2, NewRNG(1))
+	met := Evaluate(m, &Dataset{Classes: 2})
+	if met.Accuracy != 0 || met.MacroRecall != 0 {
+		t.Fatalf("empty metrics: %+v", met)
+	}
+}

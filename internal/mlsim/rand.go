@@ -1,0 +1,70 @@
+// Package mlsim is the machine-learning substrate for the reproduction: a
+// pure-Go feed-forward network (dense layers, ReLU, softmax cross-entropy,
+// SGD with momentum), deterministic PRNG, train/test metrics (accuracy,
+// macro recall), and Snapshotter implementations so models and optimizers
+// participate in flor.checkpointing.
+//
+// The paper trains a PyTorch classifier on images of PDF pages (Figure 5);
+// this package preserves the properties that matter for FlorDB — a stateful
+// model evolving across epochs, checkpointable and restorable bit-exactly,
+// with per-epoch metrics worth logging.
+package mlsim
+
+import "math"
+
+// RNG is a deterministic splitmix64 PRNG. Determinism matters twice over:
+// replay must reproduce recorded runs, and tests must be stable.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next raw value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal value (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mlsim: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,110 @@
+package pivot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"flordb/internal/relation"
+)
+
+// Chart renders one metric column as an ASCII line chart grouped by version
+// (tstamp), with the x-axis taken from a dimension column (e.g.
+// "epoch_value"). This is the reproduction of the paper's §4 "Metric
+// Registry and Visualization After Execution" — TensorBoard-style plots
+// generated from the metadata store, including for metrics that were only
+// materialized after the fact by hindsight logging.
+func (df *Dataframe) Chart(metric, xDim string, width, height int) (string, error) {
+	mi := df.Index(metric)
+	if mi < 0 {
+		return "", fmt.Errorf("pivot: no column %q", metric)
+	}
+	xi := df.Index(xDim)
+	if xi < 0 {
+		return "", fmt.Errorf("pivot: no column %q", xDim)
+	}
+	ti := df.Index("tstamp")
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+
+	type point struct {
+		x float64
+		y float64
+	}
+	series := make(map[int64][]point)
+	var minY, maxY = math.Inf(1), math.Inf(-1)
+	var minX, maxX = math.Inf(1), math.Inf(-1)
+	for _, r := range df.Rows {
+		if r[mi].IsNull() || r[xi].IsNull() {
+			continue
+		}
+		yv, err := relation.Coerce(r[mi], relation.TFloat)
+		if err != nil {
+			continue
+		}
+		xv, err := relation.Coerce(r[xi], relation.TFloat)
+		if err != nil {
+			continue
+		}
+		ts := int64(0)
+		if ti >= 0 && !r[ti].IsNull() {
+			ts = r[ti].AsInt()
+		}
+		p := point{x: xv.AsFloat(), y: yv.AsFloat()}
+		series[ts] = append(series[ts], p)
+		minY = math.Min(minY, p.y)
+		maxY = math.Max(maxY, p.y)
+		minX = math.Min(minX, p.x)
+		maxX = math.Max(maxX, p.x)
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("pivot: no plottable values in %q", metric)
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+	tss := make([]int64, 0, len(series))
+	for ts := range series {
+		tss = append(tss, ts)
+	}
+	sort.Slice(tss, func(i, j int) bool { return tss[i] < tss[j] })
+	for si, ts := range tss {
+		m := markers[si%len(markers)]
+		pts := series[ts]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		for _, p := range pts {
+			col := int((p.x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((p.y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = m
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s vs %s\n", metric, xDim)
+	fmt.Fprintf(&sb, "%8.4f ┤%s\n", maxY, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&sb, "%8s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&sb, "%8.4f ┤%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&sb, "%8s  %-8.4g%*s\n", "", minX, width-8, fmt.Sprintf("%.4g", maxX))
+	legend := make([]string, len(tss))
+	for si, ts := range tss {
+		legend[si] = fmt.Sprintf("%c ts=%d", markers[si%len(markers)], ts)
+	}
+	fmt.Fprintf(&sb, "legend: %s\n", strings.Join(legend, "  "))
+	return sb.String(), nil
+}

@@ -1,0 +1,90 @@
+package pivot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the dataframe as an aligned ASCII table (the presentation
+// at the bottom of the paper's Figure 3).
+func (df *Dataframe) String() string {
+	widths := make([]int, len(df.Columns))
+	for i, c := range df.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(df.Rows))
+	for ri, r := range df.Rows {
+		cells[ri] = make([]string, len(r))
+		for ci, v := range r {
+			s := "NULL"
+			if !v.IsNull() {
+				s = v.String()
+			}
+			if len(s) > 40 {
+				s = s[:37] + "..."
+			}
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range df.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for i := range df.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], s)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ToCSV renders the dataframe as RFC-4180-ish CSV.
+func (df *Dataframe) ToCSV() string {
+	var sb strings.Builder
+	writeRow := func(fields []string) {
+		for i, f := range fields {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(f, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(f, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(f)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(df.Columns)
+	for _, r := range df.Rows {
+		fields := make([]string, len(r))
+		for i, v := range r {
+			if v.IsNull() {
+				fields[i] = ""
+			} else {
+				fields[i] = v.String()
+			}
+		}
+		writeRow(fields)
+	}
+	return sb.String()
+}

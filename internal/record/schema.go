@@ -1,0 +1,255 @@
+package record
+
+import (
+	"fmt"
+
+	"flordb/internal/relation"
+)
+
+// The base-table schemas of Figure 1. Virtual tables (git, build_deps) are
+// registered by their owning subsystems (vcs, build).
+
+// LogsSchema is the schema of the `logs` table.
+func LogsSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "projid", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "tstamp", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "filename", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "ctx_id", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "value_name", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "value", Type: relation.TText},
+		relation.Column{Name: "value_type", Type: relation.TInt, NotNull: true},
+	)
+}
+
+// LoopsSchema is the schema of the `loops` table.
+func LoopsSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "projid", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "tstamp", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "filename", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "ctx_id", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "parent_ctx_id", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "loop_name", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "loop_iteration", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "iteration_value", Type: relation.TText},
+	)
+}
+
+// Ts2vidSchema is the schema of the `ts2vid` table mapping logical timestamp
+// ranges to version ids.
+func Ts2vidSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "projid", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "ts_start", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "ts_end", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "vid", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "root_target", Type: relation.TText},
+	)
+}
+
+// ObjStoreSchema is the schema of the `obj_store` table holding checkpoint
+// and large-value blobs.
+func ObjStoreSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "projid", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "tstamp", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "filename", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "ctx_id", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "value_name", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "contents", Type: relation.TBlob},
+	)
+}
+
+// ArgsSchema is the schema of the `args` table recording flor.arg
+// resolutions. The paper folds args into the log stream; we give them their
+// own table so replay can query them directly.
+func ArgsSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "projid", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "tstamp", Type: relation.TInt, NotNull: true},
+		relation.Column{Name: "filename", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "name", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "value", Type: relation.TText},
+	)
+}
+
+// GitSchema is the schema of the virtual `git` table (one row per file per
+// version).
+func GitSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "vid", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "filename", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "parent_vid", Type: relation.TText},
+		relation.Column{Name: "contents", Type: relation.TText},
+	)
+}
+
+// BuildDepsSchema is the schema of the virtual `build_deps` table.
+func BuildDepsSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "vid", Type: relation.TText},
+		relation.Column{Name: "target", Type: relation.TText, NotNull: true},
+		relation.Column{Name: "deps", Type: relation.TText},
+		relation.Column{Name: "cmds", Type: relation.TText},
+		relation.Column{Name: "cached", Type: relation.TBool},
+	)
+}
+
+// Tables bundles the base tables of a FlorDB database instance.
+type Tables struct {
+	Logs     *relation.Table
+	Loops    *relation.Table
+	Ts2vid   *relation.Table
+	ObjStore *relation.Table
+	Args     *relation.Table
+}
+
+// CreateTables creates all base tables in the database and installs the
+// secondary indexes the access paths in the paper need: logs by
+// (projid, value_name) for dataframe pivots, logs/loops by tstamp for
+// version slicing.
+func CreateTables(db *relation.Database) (*Tables, error) {
+	logs, err := db.CreateTable("logs", LogsSchema())
+	if err != nil {
+		return nil, err
+	}
+	loops, err := db.CreateTable("loops", LoopsSchema())
+	if err != nil {
+		return nil, err
+	}
+	ts2vid, err := db.CreateTable("ts2vid", Ts2vidSchema())
+	if err != nil {
+		return nil, err
+	}
+	objStore, err := db.CreateTable("obj_store", ObjStoreSchema())
+	if err != nil {
+		return nil, err
+	}
+	args, err := db.CreateTable("args", ArgsSchema())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := logs.CreateHashIndex("projid", "value_name"); err != nil {
+		return nil, err
+	}
+	if _, err := logs.CreateOrderedIndex("tstamp"); err != nil {
+		return nil, err
+	}
+	if _, err := loops.CreateOrderedIndex("tstamp"); err != nil {
+		return nil, err
+	}
+	if _, err := objStore.CreateHashIndex("projid", "value_name"); err != nil {
+		return nil, err
+	}
+	return &Tables{Logs: logs, Loops: loops, Ts2vid: ts2vid, ObjStore: objStore, Args: args}, nil
+}
+
+// Apply shreds a decoded record into the base tables. Commit records carry
+// no table row of their own (ts2vid rows are written by the session, which
+// knows the version id span); they are accepted and ignored here so a WAL
+// replay can stream every record through one code path.
+func (t *Tables) Apply(rec any) error {
+	switch r := rec.(type) {
+	case *LogRecord:
+		_, err := t.Logs.Insert(relation.Row{
+			relation.Text(r.ProjID), relation.Int(r.Tstamp), relation.Text(r.Filename),
+			relation.Int(r.CtxID), relation.Text(r.ValueName), relation.Text(r.Value),
+			relation.Int(int64(r.ValueType)),
+		})
+		return err
+	case *LoopRecord:
+		_, err := t.Loops.Insert(relation.Row{
+			relation.Text(r.ProjID), relation.Int(r.Tstamp), relation.Text(r.Filename),
+			relation.Int(r.CtxID), relation.Int(r.ParentCtxID), relation.Text(r.LoopName),
+			relation.Int(r.LoopIter), relation.Text(r.IterValue),
+		})
+		return err
+	case *ArgRecord:
+		_, err := t.Args.Insert(relation.Row{
+			relation.Text(r.ProjID), relation.Int(r.Tstamp), relation.Text(r.Filename),
+			relation.Text(r.Name), relation.Text(r.Value),
+		})
+		return err
+	case *CkptRecord:
+		// Checkpoint blobs are written to obj_store directly by the
+		// checkpoint manager; the WAL record is provenance only.
+		return nil
+	case *CommitRecord:
+		return nil
+	default:
+		return fmt.Errorf("record: cannot apply %T", rec)
+	}
+}
+
+// PutBlob stores a blob in obj_store.
+func (t *Tables) PutBlob(projid string, tstamp int64, filename string, ctxID int64, name string, contents []byte) error {
+	_, err := t.ObjStore.Insert(relation.Row{
+		relation.Text(projid), relation.Int(tstamp), relation.Text(filename),
+		relation.Int(ctxID), relation.Text(name), relation.Blob(contents),
+	})
+	return err
+}
+
+// GetBlobExact retrieves the obj_store blob for (projid, name) written at
+// exactly the given tstamp, used by replay to load a specific version's
+// checkpoints.
+func (t *Tables) GetBlobExact(projid, name string, tstamp int64) ([]byte, bool) {
+	var out []byte
+	found := false
+	ix, ok := t.ObjStore.HashIndexOn("projid", "value_name")
+	check := func(r relation.Row) {
+		if r[1].AsInt() == tstamp {
+			out = r[5].AsBlob()
+			found = true
+		}
+	}
+	if ok {
+		for _, id := range ix.Lookup(relation.Text(projid), relation.Text(name)) {
+			if r, live := t.ObjStore.Get(id); live {
+				check(r)
+			}
+		}
+	} else {
+		t.ObjStore.Scan(func(_ relation.RowID, r relation.Row) bool {
+			if r[0].AsText() == projid && r[4].AsText() == name {
+				check(r)
+			}
+			return true
+		})
+	}
+	return out, found
+}
+
+// GetBlob retrieves the most recent obj_store blob for (projid, name) with
+// tstamp <= atOrBefore (or any tstamp when atOrBefore < 0).
+func (t *Tables) GetBlob(projid, name string, atOrBefore int64) ([]byte, bool) {
+	var best []byte
+	var bestTs int64 = -1
+	ix, ok := t.ObjStore.HashIndexOn("projid", "value_name")
+	scan := func(r relation.Row) {
+		ts := r[1].AsInt()
+		if atOrBefore >= 0 && ts > atOrBefore {
+			return
+		}
+		if ts > bestTs {
+			bestTs = ts
+			best = r[5].AsBlob()
+		}
+	}
+	if ok {
+		for _, id := range ix.Lookup(relation.Text(projid), relation.Text(name)) {
+			if r, live := t.ObjStore.Get(id); live {
+				scan(r)
+			}
+		}
+	} else {
+		t.ObjStore.Scan(func(_ relation.RowID, r relation.Row) bool {
+			if r[0].AsText() == projid && r[4].AsText() == name {
+				scan(r)
+			}
+			return true
+		})
+	}
+	return best, bestTs >= 0
+}

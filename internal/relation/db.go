@@ -1,0 +1,146 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// VirtualTable produces rows on demand; FlorDB uses virtual tables for the
+// `git` and `build_deps` relations of Figure 1, whose contents are derived
+// from the version-control store and the build system rather than stored.
+type VirtualTable interface {
+	Name() string
+	Schema() *Schema
+	Rows() []Row
+}
+
+// Database is a named collection of base and virtual tables. It is the
+// catalog against which the SQL layer resolves table names.
+type Database struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	virtual map[string]VirtualTable
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		tables:  make(map[string]*Table),
+		virtual: make(map[string]VirtualTable),
+	}
+}
+
+// CreateTable creates a base table; it fails if the name is taken.
+func (db *Database) CreateTable(name string, schema *Schema) (*Table, error) {
+	key := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("relation: table %q already exists", name)
+	}
+	if _, ok := db.virtual[key]; ok {
+		return nil, fmt.Errorf("relation: virtual table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	db.tables[key] = t
+	return t, nil
+}
+
+// RegisterVirtual installs a virtual table; it fails if the name is taken.
+func (db *Database) RegisterVirtual(v VirtualTable) error {
+	key := strings.ToLower(v.Name())
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[key]; ok {
+		return fmt.Errorf("relation: table %q already exists", v.Name())
+	}
+	if _, ok := db.virtual[key]; ok {
+		return fmt.Errorf("relation: virtual table %q already exists", v.Name())
+	}
+	db.virtual[key] = v
+	return nil
+}
+
+// Table returns the named base table.
+func (db *Database) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// DropTable removes a base table.
+func (db *Database) DropTable(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return false
+	}
+	delete(db.tables, key)
+	return true
+}
+
+// Source returns an iterator and schema for any table, base or virtual.
+func (db *Database) Source(name string) (Iterator, error) {
+	key := strings.ToLower(name)
+	db.mu.RLock()
+	t, isBase := db.tables[key]
+	v, isVirtual := db.virtual[key]
+	db.mu.RUnlock()
+	switch {
+	case isBase:
+		return NewScan(t), nil
+	case isVirtual:
+		return NewSliceScan(v.Schema(), v.Rows()), nil
+	default:
+		return nil, fmt.Errorf("relation: no table %q", name)
+	}
+}
+
+// SchemaOf returns the schema of any table, base or virtual.
+func (db *Database) SchemaOf(name string) (*Schema, error) {
+	key := strings.ToLower(name)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t, ok := db.tables[key]; ok {
+		return t.Schema(), nil
+	}
+	if v, ok := db.virtual[key]; ok {
+		return v.Schema(), nil
+	}
+	return nil, fmt.Errorf("relation: no table %q", name)
+}
+
+// Names lists all table names (base then virtual), sorted.
+func (db *Database) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for _, t := range db.tables {
+		out = append(out, t.Name())
+	}
+	for _, v := range db.virtual {
+		out = append(out, v.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FuncVirtualTable adapts a closure into a VirtualTable.
+type FuncVirtualTable struct {
+	TableName   string
+	TableSchema *Schema
+	RowsFn      func() []Row
+}
+
+// Name implements VirtualTable.
+func (f *FuncVirtualTable) Name() string { return f.TableName }
+
+// Schema implements VirtualTable.
+func (f *FuncVirtualTable) Schema() *Schema { return f.TableSchema }
+
+// Rows implements VirtualTable.
+func (f *FuncVirtualTable) Rows() []Row { return f.RowsFn() }

@@ -1,0 +1,598 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Iterator is the volcano-style operator interface. Next returns the next
+// row or (nil, false) at end of stream. Rows returned by Next must not be
+// mutated by callers.
+type Iterator interface {
+	Schema() *Schema
+	Next() (Row, bool)
+}
+
+// Collect drains an iterator into a slice.
+func Collect(it Iterator) []Row {
+	var out []Row
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// ---------- Scan ----------
+
+// ScanOp iterates a table snapshot in insertion order.
+type ScanOp struct {
+	schema *Schema
+	rows   []Row
+	i      int
+}
+
+// NewScan snapshots the table and returns a scan operator.
+func NewScan(t *Table) *ScanOp {
+	return &ScanOp{schema: t.Schema(), rows: t.Rows()}
+}
+
+// NewSliceScan wraps pre-materialized rows in an iterator.
+func NewSliceScan(schema *Schema, rows []Row) *ScanOp {
+	return &ScanOp{schema: schema, rows: rows}
+}
+
+// Schema implements Iterator.
+func (s *ScanOp) Schema() *Schema { return s.schema }
+
+// Next implements Iterator.
+func (s *ScanOp) Next() (Row, bool) {
+	if s.i >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, true
+}
+
+// ---------- Filter ----------
+
+// Predicate decides whether a row passes a filter.
+type Predicate func(Row) bool
+
+// FilterOp passes through rows satisfying a predicate.
+type FilterOp struct {
+	in   Iterator
+	pred Predicate
+}
+
+// NewFilter wraps an iterator with a predicate.
+func NewFilter(in Iterator, pred Predicate) *FilterOp {
+	return &FilterOp{in: in, pred: pred}
+}
+
+// Schema implements Iterator.
+func (f *FilterOp) Schema() *Schema { return f.in.Schema() }
+
+// Next implements Iterator.
+func (f *FilterOp) Next() (Row, bool) {
+	for {
+		r, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.pred(r) {
+			return r, true
+		}
+	}
+}
+
+// ---------- Project ----------
+
+// ProjExpr computes one output column from an input row.
+type ProjExpr struct {
+	Name string
+	Type Type
+	Eval func(Row) Value
+}
+
+// ProjectOp maps input rows through a list of expressions.
+type ProjectOp struct {
+	in     Iterator
+	exprs  []ProjExpr
+	schema *Schema
+}
+
+// NewProject builds a projection operator.
+func NewProject(in Iterator, exprs []ProjExpr) (*ProjectOp, error) {
+	cols := make([]Column, len(exprs))
+	for i, e := range exprs {
+		cols[i] = Column{Name: e.Name, Type: e.Type}
+	}
+	s, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return &ProjectOp{in: in, exprs: exprs, schema: s}, nil
+}
+
+// NewProjectColumns projects the named columns of the input.
+func NewProjectColumns(in Iterator, names ...string) (*ProjectOp, error) {
+	exprs := make([]ProjExpr, len(names))
+	for i, n := range names {
+		pos := in.Schema().Index(n)
+		if pos < 0 {
+			return nil, fmt.Errorf("relation: project: no column %q", n)
+		}
+		p := pos
+		exprs[i] = ProjExpr{Name: n, Type: in.Schema().Col(pos).Type, Eval: func(r Row) Value { return r[p] }}
+	}
+	return NewProject(in, exprs)
+}
+
+// Schema implements Iterator.
+func (p *ProjectOp) Schema() *Schema { return p.schema }
+
+// Next implements Iterator.
+func (p *ProjectOp) Next() (Row, bool) {
+	r, ok := p.in.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(Row, len(p.exprs))
+	for i, e := range p.exprs {
+		out[i] = e.Eval(r)
+	}
+	return out, true
+}
+
+// ---------- Hash Join ----------
+
+// HashJoinOp implements an equi-join: build side is fully materialized into
+// a hash table keyed on the build columns; probe side streams.
+type HashJoinOp struct {
+	probe      Iterator
+	buildRows  map[string][]Row
+	probeCols  []int
+	schema     *Schema
+	buildWidth int
+	pending    []Row
+}
+
+// NewHashJoin joins left (probe) to right (build) on leftCols[i] == rightCols[i].
+func NewHashJoin(left, right Iterator, leftCols, rightCols []string, rightQualifier string) (*HashJoinOp, error) {
+	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
+		return nil, fmt.Errorf("relation: join requires equal, non-empty key lists")
+	}
+	lpos := make([]int, len(leftCols))
+	for i, c := range leftCols {
+		p := left.Schema().Index(c)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: join: left has no column %q", c)
+		}
+		lpos[i] = p
+	}
+	rpos := make([]int, len(rightCols))
+	for i, c := range rightCols {
+		p := right.Schema().Index(c)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: join: right has no column %q", c)
+		}
+		rpos[i] = p
+	}
+	build := make(map[string][]Row)
+	for {
+		r, ok := right.Next()
+		if !ok {
+			break
+		}
+		key, null := joinKey(r, rpos)
+		if null {
+			continue // NULL keys never match
+		}
+		build[key] = append(build[key], r)
+	}
+	schema, err := Concat(left.Schema(), right.Schema(), rightQualifier)
+	if err != nil {
+		return nil, err
+	}
+	return &HashJoinOp{
+		probe:      left,
+		buildRows:  build,
+		probeCols:  lpos,
+		schema:     schema,
+		buildWidth: right.Schema().Len(),
+	}, nil
+}
+
+func joinKey(r Row, pos []int) (string, bool) {
+	k := ""
+	for _, p := range pos {
+		if r[p].IsNull() {
+			return "", true
+		}
+		k += r[p].Key() + "\x1f"
+	}
+	return k, false
+}
+
+// Schema implements Iterator.
+func (j *HashJoinOp) Schema() *Schema { return j.schema }
+
+// Next implements Iterator.
+func (j *HashJoinOp) Next() (Row, bool) {
+	for {
+		if len(j.pending) > 0 {
+			r := j.pending[0]
+			j.pending = j.pending[1:]
+			return r, true
+		}
+		l, ok := j.probe.Next()
+		if !ok {
+			return nil, false
+		}
+		key, null := joinKey(l, j.probeCols)
+		if null {
+			continue
+		}
+		for _, b := range j.buildRows[key] {
+			out := make(Row, 0, len(l)+len(b))
+			out = append(out, l...)
+			out = append(out, b...)
+			j.pending = append(j.pending, out)
+		}
+	}
+}
+
+// ---------- Sort ----------
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// SortOp fully materializes its input and emits it ordered.
+type SortOp struct {
+	in     Iterator
+	keys   []SortKey
+	rows   []Row
+	sorted bool
+	i      int
+}
+
+// NewSort builds a sort operator over the given keys.
+func NewSort(in Iterator, keys []SortKey) (*SortOp, error) {
+	for _, k := range keys {
+		if in.Schema().Index(k.Col) < 0 {
+			return nil, fmt.Errorf("relation: sort: no column %q", k.Col)
+		}
+	}
+	return &SortOp{in: in, keys: keys}, nil
+}
+
+// Schema implements Iterator.
+func (s *SortOp) Schema() *Schema { return s.in.Schema() }
+
+// Next implements Iterator.
+func (s *SortOp) Next() (Row, bool) {
+	if !s.sorted {
+		s.rows = Collect(s.in)
+		pos := make([]int, len(s.keys))
+		for i, k := range s.keys {
+			pos[i] = s.in.Schema().Index(k.Col)
+		}
+		sort.SliceStable(s.rows, func(a, b int) bool {
+			for i, k := range s.keys {
+				c := Compare(s.rows[a][pos[i]], s.rows[b][pos[i]])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		s.sorted = true
+	}
+	if s.i >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, true
+}
+
+// ---------- Limit / Offset ----------
+
+// LimitOp emits at most n rows after skipping offset rows. A negative limit
+// means unlimited.
+type LimitOp struct {
+	in      Iterator
+	limit   int64
+	offset  int64
+	emitted int64
+	skipped int64
+}
+
+// NewLimit builds a limit/offset operator.
+func NewLimit(in Iterator, limit, offset int64) *LimitOp {
+	return &LimitOp{in: in, limit: limit, offset: offset}
+}
+
+// Schema implements Iterator.
+func (l *LimitOp) Schema() *Schema { return l.in.Schema() }
+
+// Next implements Iterator.
+func (l *LimitOp) Next() (Row, bool) {
+	for l.skipped < l.offset {
+		if _, ok := l.in.Next(); !ok {
+			return nil, false
+		}
+		l.skipped++
+	}
+	if l.limit >= 0 && l.emitted >= l.limit {
+		return nil, false
+	}
+	r, ok := l.in.Next()
+	if !ok {
+		return nil, false
+	}
+	l.emitted++
+	return r, true
+}
+
+// ---------- Aggregate ----------
+
+// AggKind enumerates supported aggregate functions.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// AggSpec is one aggregate output.
+type AggSpec struct {
+	Kind AggKind
+	Col  string // ignored for AggCountStar
+	As   string
+}
+
+type aggState struct {
+	count int64
+	sum   float64
+	min   Value
+	max   Value
+	seen  bool
+}
+
+// GroupOp implements hash aggregation with optional grouping columns.
+type GroupOp struct {
+	in       Iterator
+	groupBy  []string
+	aggs     []AggSpec
+	schema   *Schema
+	results  []Row
+	done     bool
+	i        int
+	groupPos []int
+	aggPos   []int
+}
+
+// NewGroup builds a grouping/aggregation operator. With no groupBy columns
+// it produces exactly one row (global aggregates).
+func NewGroup(in Iterator, groupBy []string, aggs []AggSpec) (*GroupOp, error) {
+	g := &GroupOp{in: in, groupBy: groupBy, aggs: aggs}
+	var cols []Column
+	for _, c := range groupBy {
+		p := in.Schema().Index(c)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: group: no column %q", c)
+		}
+		g.groupPos = append(g.groupPos, p)
+		cols = append(cols, in.Schema().Col(p))
+	}
+	for _, a := range aggs {
+		p := -1
+		if a.Kind != AggCountStar {
+			p = in.Schema().Index(a.Col)
+			if p < 0 {
+				return nil, fmt.Errorf("relation: aggregate: no column %q", a.Col)
+			}
+		}
+		g.aggPos = append(g.aggPos, p)
+		name := a.As
+		if name == "" {
+			name = aggName(a)
+		}
+		typ := TFloat
+		switch a.Kind {
+		case AggCount, AggCountStar:
+			typ = TInt
+		case AggMin, AggMax:
+			if p >= 0 {
+				typ = in.Schema().Col(p).Type
+			}
+		}
+		cols = append(cols, Column{Name: name, Type: typ})
+	}
+	s, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	g.schema = s
+	return g, nil
+}
+
+func aggName(a AggSpec) string {
+	switch a.Kind {
+	case AggCountStar:
+		return "count(*)"
+	case AggCount:
+		return "count(" + a.Col + ")"
+	case AggSum:
+		return "sum(" + a.Col + ")"
+	case AggAvg:
+		return "avg(" + a.Col + ")"
+	case AggMin:
+		return "min(" + a.Col + ")"
+	case AggMax:
+		return "max(" + a.Col + ")"
+	}
+	return "agg"
+}
+
+// Schema implements Iterator.
+func (g *GroupOp) Schema() *Schema { return g.schema }
+
+// Next implements Iterator.
+func (g *GroupOp) Next() (Row, bool) {
+	if !g.done {
+		g.run()
+		g.done = true
+	}
+	if g.i >= len(g.results) {
+		return nil, false
+	}
+	r := g.results[g.i]
+	g.i++
+	return r, true
+}
+
+func (g *GroupOp) run() {
+	type group struct {
+		key    Row
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	sawAny := false
+	for {
+		r, ok := g.in.Next()
+		if !ok {
+			break
+		}
+		sawAny = true
+		key := ""
+		keyRow := make(Row, len(g.groupPos))
+		for i, p := range g.groupPos {
+			key += r[p].Key() + "\x1f"
+			keyRow[i] = r[p]
+		}
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{key: keyRow, states: make([]aggState, len(g.aggs))}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i, a := range g.aggs {
+			st := &grp.states[i]
+			if a.Kind == AggCountStar {
+				st.count++
+				continue
+			}
+			v := r[g.aggPos[i]]
+			if v.IsNull() {
+				continue
+			}
+			st.count++
+			if v.IsNumeric() {
+				st.sum += v.AsFloat()
+			}
+			if !st.seen || Compare(v, st.min) < 0 {
+				st.min = v
+			}
+			if !st.seen || Compare(v, st.max) > 0 {
+				st.max = v
+			}
+			st.seen = true
+		}
+	}
+	if len(g.groupPos) == 0 && !sawAny {
+		// Global aggregate over empty input yields one row of zero/NULL.
+		order = append(order, "")
+		groups[""] = &group{key: Row{}, states: make([]aggState, len(g.aggs))}
+	}
+	for _, k := range order {
+		grp := groups[k]
+		out := make(Row, 0, len(grp.key)+len(g.aggs))
+		out = append(out, grp.key...)
+		for i, a := range g.aggs {
+			st := grp.states[i]
+			switch a.Kind {
+			case AggCount, AggCountStar:
+				out = append(out, Int(st.count))
+			case AggSum:
+				if st.count == 0 {
+					out = append(out, Null())
+				} else {
+					out = append(out, Float(st.sum))
+				}
+			case AggAvg:
+				if st.count == 0 {
+					out = append(out, Null())
+				} else {
+					out = append(out, Float(st.sum/float64(st.count)))
+				}
+			case AggMin:
+				if !st.seen {
+					out = append(out, Null())
+				} else {
+					out = append(out, st.min)
+				}
+			case AggMax:
+				if !st.seen {
+					out = append(out, Null())
+				} else {
+					out = append(out, st.max)
+				}
+			}
+		}
+		g.results = append(g.results, out)
+	}
+}
+
+// ---------- Distinct ----------
+
+// DistinctOp removes duplicate rows (by full-row key).
+type DistinctOp struct {
+	in   Iterator
+	seen map[string]struct{}
+}
+
+// NewDistinct wraps an iterator with duplicate elimination.
+func NewDistinct(in Iterator) *DistinctOp {
+	return &DistinctOp{in: in, seen: make(map[string]struct{})}
+}
+
+// Schema implements Iterator.
+func (d *DistinctOp) Schema() *Schema { return d.in.Schema() }
+
+// Next implements Iterator.
+func (d *DistinctOp) Next() (Row, bool) {
+	for {
+		r, ok := d.in.Next()
+		if !ok {
+			return nil, false
+		}
+		k := ""
+		for _, v := range r {
+			k += v.Key() + "\x1f"
+		}
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return r, true
+	}
+}

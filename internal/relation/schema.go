@@ -1,0 +1,121 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+	// NotNull marks columns whose values must be non-NULL on insert.
+	NotNull bool
+}
+
+// Schema is an ordered list of columns. Column names within a schema are
+// unique (case-insensitive).
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema, validating column-name uniqueness.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if key == "" {
+			return nil, fmt.Errorf("relation: empty column name at position %d", i)
+		}
+		if _, dup := s.byName[key]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q", c.Name)
+		}
+		s.byName[key] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for static schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Index returns the position of the named column (case-insensitive) or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Concat builds a schema that is the concatenation of two schemas, used by
+// joins. Name collisions are disambiguated by prefixing the right column
+// with the supplied qualifier (e.g. "t2.col").
+func Concat(left, right *Schema, rightQualifier string) (*Schema, error) {
+	cols := left.Columns()
+	for _, c := range right.cols {
+		name := c.Name
+		if left.Index(name) >= 0 {
+			name = rightQualifier + "." + name
+		}
+		cols = append(cols, Column{Name: name, Type: c.Type, NotNull: false})
+	}
+	return NewSchema(cols...)
+}
+
+// Row is one tuple. Its length must equal the schema length.
+type Row []Value
+
+// Clone deep-copies the row (values are immutable, so a shallow copy of the
+// slice suffices).
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Validate checks a row against the schema: arity, NOT NULL, and type
+// compatibility (values may be NULL or must coerce losslessly to the column
+// type). It returns the possibly-coerced row.
+func (s *Schema) Validate(r Row) (Row, error) {
+	if len(r) != len(s.cols) {
+		return nil, fmt.Errorf("relation: row arity %d != schema arity %d", len(r), len(s.cols))
+	}
+	out := r.Clone()
+	for i, c := range s.cols {
+		v := out[i]
+		if v.IsNull() {
+			if c.NotNull {
+				return nil, fmt.Errorf("relation: NULL in NOT NULL column %q", c.Name)
+			}
+			continue
+		}
+		if v.Type() != c.Type {
+			cv, err := Coerce(v, c.Type)
+			if err != nil {
+				return nil, fmt.Errorf("relation: column %q: %w", c.Name, err)
+			}
+			out[i] = cv
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,388 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RowID identifies a row within a table for the table's lifetime. IDs are
+// never reused; deleted rows leave tombstones.
+type RowID int64
+
+// Table is a heap-resident relation with optional secondary indexes.
+// All methods are safe for concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  *Schema
+	rows    map[RowID]Row
+	order   []RowID // insertion order, may contain tombstoned ids
+	nextID  RowID
+	deleted int
+	indexes map[string]*HashIndex
+	ordered map[string]*OrderedIndex
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{
+		name:    name,
+		schema:  schema,
+		rows:    make(map[RowID]Row),
+		indexes: make(map[string]*HashIndex),
+		ordered: make(map[string]*OrderedIndex),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert validates and appends a row, maintaining all indexes. It returns
+// the new row's RowID.
+func (t *Table) Insert(r Row) (RowID, error) {
+	valid, err := t.schema.Validate(r)
+	if err != nil {
+		return 0, fmt.Errorf("table %s: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	t.nextID++
+	t.rows[id] = valid
+	t.order = append(t.order, id)
+	for _, ix := range t.indexes {
+		ix.add(id, valid)
+	}
+	for _, ix := range t.ordered {
+		ix.add(id, valid)
+	}
+	return id, nil
+}
+
+// InsertMany inserts a batch of rows, stopping at the first error.
+func (t *Table) InsertMany(rows []Row) error {
+	for i, r := range rows {
+		if _, err := t.Insert(r); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Get returns the row with the given id, or false if it was deleted or never
+// existed. The returned row must not be mutated.
+func (t *Table) Get(id RowID) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[id]
+	return r, ok
+}
+
+// Delete removes a row by id. It reports whether a live row was removed.
+func (t *Table) Delete(id RowID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.rows[id]
+	if !ok {
+		return false
+	}
+	delete(t.rows, id)
+	t.deleted++
+	for _, ix := range t.indexes {
+		ix.remove(id, r)
+	}
+	for _, ix := range t.ordered {
+		ix.remove(id, r)
+	}
+	return true
+}
+
+// Update replaces the row with the given id, revalidating and reindexing.
+func (t *Table) Update(id RowID, r Row) error {
+	valid, err := t.schema.Validate(r)
+	if err != nil {
+		return fmt.Errorf("table %s: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("table %s: update of missing row %d", t.name, id)
+	}
+	for _, ix := range t.indexes {
+		ix.remove(id, old)
+		ix.add(id, valid)
+	}
+	for _, ix := range t.ordered {
+		ix.remove(id, old)
+		ix.add(id, valid)
+	}
+	t.rows[id] = valid
+	return nil
+}
+
+// Scan calls fn for each live row in insertion order; returning false stops
+// the scan. The row must not be mutated.
+func (t *Table) Scan(fn func(id RowID, r Row) bool) {
+	t.mu.RLock()
+	ids := make([]RowID, 0, len(t.rows))
+	for _, id := range t.order {
+		if _, ok := t.rows[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	t.mu.RUnlock()
+	for _, id := range ids {
+		t.mu.RLock()
+		r, ok := t.rows[id]
+		t.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if !fn(id, r) {
+			return
+		}
+	}
+}
+
+// Rows returns a snapshot of all live rows in insertion order.
+func (t *Table) Rows() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Row, 0, len(t.rows))
+	for _, id := range t.order {
+		if r, ok := t.rows[id]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CreateHashIndex builds (or returns the existing) hash index over the named
+// columns. The index is maintained by subsequent mutations.
+func (t *Table) CreateHashIndex(cols ...string) (*HashIndex, error) {
+	positions, err := t.resolve(cols)
+	if err != nil {
+		return nil, err
+	}
+	key := indexKey(cols)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix, ok := t.indexes[key]; ok {
+		return ix, nil
+	}
+	ix := newHashIndex(positions)
+	for _, id := range t.order {
+		if r, ok := t.rows[id]; ok {
+			ix.add(id, r)
+		}
+	}
+	t.indexes[key] = ix
+	return ix, nil
+}
+
+// CreateOrderedIndex builds (or returns the existing) ordered index over a
+// single column, supporting range scans.
+func (t *Table) CreateOrderedIndex(col string) (*OrderedIndex, error) {
+	positions, err := t.resolve([]string{col})
+	if err != nil {
+		return nil, err
+	}
+	key := indexKey([]string{col})
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix, ok := t.ordered[key]; ok {
+		return ix, nil
+	}
+	ix := newOrderedIndex(positions[0])
+	for _, id := range t.order {
+		if r, ok := t.rows[id]; ok {
+			ix.add(id, r)
+		}
+	}
+	t.ordered[key] = ix
+	return ix, nil
+}
+
+// HashIndexOn returns the hash index over the given columns, if present.
+func (t *Table) HashIndexOn(cols ...string) (*HashIndex, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[indexKey(cols)]
+	return ix, ok
+}
+
+func (t *Table) resolve(cols []string) ([]int, error) {
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p := t.schema.Index(c)
+		if p < 0 {
+			return nil, fmt.Errorf("table %s: no column %q", t.name, c)
+		}
+		positions[i] = p
+	}
+	return positions, nil
+}
+
+func indexKey(cols []string) string {
+	out := ""
+	for i, c := range cols {
+		if i > 0 {
+			out += ","
+		}
+		out += c
+	}
+	return out
+}
+
+// HashIndex is an equality index over one or more columns.
+type HashIndex struct {
+	mu        sync.RWMutex
+	positions []int
+	buckets   map[string][]RowID
+}
+
+func newHashIndex(positions []int) *HashIndex {
+	return &HashIndex{positions: positions, buckets: make(map[string][]RowID)}
+}
+
+func (ix *HashIndex) keyFor(r Row) string {
+	k := ""
+	for _, p := range ix.positions {
+		k += r[p].Key() + "\x1f"
+	}
+	return k
+}
+
+func (ix *HashIndex) add(id RowID, r Row) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	k := ix.keyFor(r)
+	ix.buckets[k] = append(ix.buckets[k], id)
+}
+
+func (ix *HashIndex) remove(id RowID, r Row) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	k := ix.keyFor(r)
+	ids := ix.buckets[k]
+	for i, candidate := range ids {
+		if candidate == id {
+			ix.buckets[k] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ix.buckets[k]) == 0 {
+		delete(ix.buckets, k)
+	}
+}
+
+// Lookup returns the RowIDs whose indexed columns equal the given values.
+func (ix *HashIndex) Lookup(vals ...Value) []RowID {
+	if len(vals) != len(ix.positions) {
+		return nil
+	}
+	k := ""
+	for _, v := range vals {
+		k += v.Key() + "\x1f"
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]RowID(nil), ix.buckets[k]...)
+}
+
+// OrderedIndex is a sorted single-column index supporting range scans. It is
+// maintained as a sorted slice; inserts use binary search. For the metadata
+// workloads FlorDB serves (append-mostly logs), this is simple and fast.
+type OrderedIndex struct {
+	mu      sync.RWMutex
+	pos     int
+	entries []orderedEntry
+}
+
+type orderedEntry struct {
+	v  Value
+	id RowID
+}
+
+func newOrderedIndex(pos int) *OrderedIndex { return &OrderedIndex{pos: pos} }
+
+func (ix *OrderedIndex) add(id RowID, r Row) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	v := r[ix.pos]
+	i := sort.Search(len(ix.entries), func(i int) bool {
+		c := Compare(ix.entries[i].v, v)
+		return c > 0 || (c == 0 && ix.entries[i].id >= id)
+	})
+	ix.entries = append(ix.entries, orderedEntry{})
+	copy(ix.entries[i+1:], ix.entries[i:])
+	ix.entries[i] = orderedEntry{v: v, id: id}
+}
+
+func (ix *OrderedIndex) remove(id RowID, r Row) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	v := r[ix.pos]
+	i := sort.Search(len(ix.entries), func(i int) bool {
+		c := Compare(ix.entries[i].v, v)
+		return c > 0 || (c == 0 && ix.entries[i].id >= id)
+	})
+	if i < len(ix.entries) && ix.entries[i].id == id {
+		ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
+	}
+}
+
+// Range returns RowIDs with lo <= value <= hi in ascending value order.
+// A NULL bound means unbounded on that side.
+func (ix *OrderedIndex) Range(lo, hi Value) []RowID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	start := 0
+	if !lo.IsNull() {
+		start = sort.Search(len(ix.entries), func(i int) bool {
+			return Compare(ix.entries[i].v, lo) >= 0
+		})
+	}
+	var out []RowID
+	for i := start; i < len(ix.entries); i++ {
+		if !hi.IsNull() && Compare(ix.entries[i].v, hi) > 0 {
+			break
+		}
+		out = append(out, ix.entries[i].id)
+	}
+	return out
+}
+
+// Min returns the RowID holding the smallest non-NULL value, if any.
+func (ix *OrderedIndex) Min() (RowID, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, e := range ix.entries {
+		if !e.v.IsNull() {
+			return e.id, true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the RowID holding the largest value, if any.
+func (ix *OrderedIndex) Max() (RowID, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.entries) == 0 {
+		return 0, false
+	}
+	return ix.entries[len(ix.entries)-1].id, true
+}

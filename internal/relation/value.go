@@ -1,0 +1,339 @@
+// Package relation implements the relational kernel underlying FlorDB's
+// metadata store: a typed value model, heap-resident tables with hash and
+// ordered indexes, and volcano-style iterator operators (scan, filter,
+// project, join, sort, limit, aggregate).
+//
+// The kernel is deliberately small but complete enough to host the Figure-1
+// schema of the FlorDB paper (logs, loops, ts2vid, obj_store base tables and
+// the git / build_deps virtual tables) and to answer every query the paper
+// issues against them.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type enumerates the column types supported by the kernel. They correspond
+// to the types appearing in the paper's Figure-1 data model: text, integer,
+// datetime, bool, float (for logged metrics), and blob (obj_store contents).
+type Type int
+
+const (
+	TNull Type = iota
+	TText
+	TInt
+	TFloat
+	TBool
+	TTime
+	TBlob
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TNull:
+		return "NULL"
+	case TText:
+		return "TEXT"
+	case TInt:
+		return "INTEGER"
+	case TFloat:
+		return "FLOAT"
+	case TBool:
+		return "BOOL"
+	case TTime:
+		return "DATETIME"
+	case TBlob:
+		return "BLOB"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Value is a dynamically typed relational value. The zero Value is NULL.
+type Value struct {
+	typ  Type
+	i    int64   // TInt, TBool (0/1)
+	f    float64 // TFloat
+	s    string  // TText
+	t    time.Time
+	blob []byte
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Text builds a TEXT value.
+func Text(s string) Value { return Value{typ: TText, s: s} }
+
+// Int builds an INTEGER value.
+func Int(i int64) Value { return Value{typ: TInt, i: i} }
+
+// Float builds a FLOAT value.
+func Float(f float64) Value { return Value{typ: TFloat, f: f} }
+
+// Bool builds a BOOL value.
+func Bool(b bool) Value {
+	v := Value{typ: TBool}
+	if b {
+		v.i = 1
+	}
+	return v
+}
+
+// Time builds a DATETIME value.
+func Time(t time.Time) Value { return Value{typ: TTime, t: t.UTC()} }
+
+// Blob builds a BLOB value. The slice is not copied.
+func Blob(b []byte) Value { return Value{typ: TBlob, blob: b} }
+
+// Type reports the value's type tag.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.typ == TNull }
+
+// AsText returns the TEXT payload; it panics on type mismatch.
+func (v Value) AsText() string {
+	if v.typ != TText {
+		panic(fmt.Sprintf("relation: AsText on %s", v.typ))
+	}
+	return v.s
+}
+
+// AsInt returns the INTEGER payload; it panics on type mismatch.
+func (v Value) AsInt() int64 {
+	if v.typ != TInt {
+		panic(fmt.Sprintf("relation: AsInt on %s", v.typ))
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric payload widened to float64. Works for TInt and
+// TFloat; panics otherwise.
+func (v Value) AsFloat() float64 {
+	switch v.typ {
+	case TFloat:
+		return v.f
+	case TInt:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("relation: AsFloat on %s", v.typ))
+	}
+}
+
+// AsBool returns the BOOL payload; it panics on type mismatch.
+func (v Value) AsBool() bool {
+	if v.typ != TBool {
+		panic(fmt.Sprintf("relation: AsBool on %s", v.typ))
+	}
+	return v.i != 0
+}
+
+// AsTime returns the DATETIME payload; it panics on type mismatch.
+func (v Value) AsTime() time.Time {
+	if v.typ != TTime {
+		panic(fmt.Sprintf("relation: AsTime on %s", v.typ))
+	}
+	return v.t
+}
+
+// AsBlob returns the BLOB payload; it panics on type mismatch.
+func (v Value) AsBlob() []byte {
+	if v.typ != TBlob {
+		panic(fmt.Sprintf("relation: AsBlob on %s", v.typ))
+	}
+	return v.blob
+}
+
+// IsNumeric reports whether the value is TInt or TFloat.
+func (v Value) IsNumeric() bool { return v.typ == TInt || v.typ == TFloat }
+
+// String renders the value for display (not for round-tripping).
+func (v Value) String() string {
+	switch v.typ {
+	case TNull:
+		return "NULL"
+	case TText:
+		return v.s
+	case TInt:
+		return strconv.FormatInt(v.i, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case TTime:
+		return v.t.Format(time.RFC3339Nano)
+	case TBlob:
+		return fmt.Sprintf("x'%x'", v.blob)
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; numeric types
+// compare numerically across TInt/TFloat; otherwise both values must share a
+// type. Returns -1, 0, or +1. Cross-type non-numeric comparisons order by
+// type tag so that sorting heterogeneous columns is total and deterministic.
+func Compare(a, b Value) int {
+	if a.typ == TNull || b.typ == TNull {
+		switch {
+		case a.typ == TNull && b.typ == TNull:
+			return 0
+		case a.typ == TNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.typ != b.typ {
+		if a.typ < b.typ {
+			return -1
+		}
+		return 1
+	}
+	switch a.typ {
+	case TText:
+		return strings.Compare(a.s, b.s)
+	case TBool:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		default:
+			return 0
+		}
+	case TTime:
+		switch {
+		case a.t.Before(b.t):
+			return -1
+		case a.t.After(b.t):
+			return 1
+		default:
+			return 0
+		}
+	case TBlob:
+		return strings.Compare(string(a.blob), string(b.blob))
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal under Compare, except that
+// NULL is never equal to anything including NULL (SQL semantics). Use
+// Compare for sorting and Equal for predicate evaluation.
+func Equal(a, b Value) bool {
+	if a.typ == TNull || b.typ == TNull {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Key returns a string usable as a hash key for grouping/joining. Two values
+// with Compare(a,b)==0 share a key. NULLs get a distinct sentinel key so
+// GROUP BY can place them in one group (SQL groups NULLs together).
+func (v Value) Key() string {
+	switch v.typ {
+	case TNull:
+		return "\x00N"
+	case TText:
+		return "\x01" + v.s
+	case TInt:
+		return "\x02" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case TFloat:
+		return "\x02" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TBool:
+		return "\x03" + strconv.FormatInt(v.i, 10)
+	case TTime:
+		return "\x04" + strconv.FormatInt(v.t.UnixNano(), 10)
+	case TBlob:
+		return "\x05" + string(v.blob)
+	default:
+		return "\x06"
+	}
+}
+
+// Coerce attempts to convert v to target type t, returning an error when the
+// conversion is lossy or undefined. NULL coerces to NULL of any type.
+func Coerce(v Value, t Type) (Value, error) {
+	if v.typ == TNull || v.typ == t {
+		return v, nil
+	}
+	switch t {
+	case TText:
+		return Text(v.String()), nil
+	case TInt:
+		switch v.typ {
+		case TFloat:
+			if v.f != math.Trunc(v.f) {
+				return Value{}, fmt.Errorf("relation: cannot coerce %v to INTEGER without loss", v.f)
+			}
+			return Int(int64(v.f)), nil
+		case TText:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("relation: cannot coerce %q to INTEGER", v.s)
+			}
+			return Int(i), nil
+		case TBool:
+			return Int(v.i), nil
+		}
+	case TFloat:
+		switch v.typ {
+		case TInt:
+			return Float(float64(v.i)), nil
+		case TText:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("relation: cannot coerce %q to FLOAT", v.s)
+			}
+			return Float(f), nil
+		}
+	case TBool:
+		switch v.typ {
+		case TInt:
+			return Bool(v.i != 0), nil
+		case TText:
+			switch strings.ToLower(strings.TrimSpace(v.s)) {
+			case "true", "t", "1":
+				return Bool(true), nil
+			case "false", "f", "0":
+				return Bool(false), nil
+			}
+			return Value{}, fmt.Errorf("relation: cannot coerce %q to BOOL", v.s)
+		}
+	case TTime:
+		if v.typ == TText {
+			for _, layout := range []string{time.RFC3339Nano, time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
+				if tt, err := time.Parse(layout, strings.TrimSpace(v.s)); err == nil {
+					return Time(tt), nil
+				}
+			}
+			return Value{}, fmt.Errorf("relation: cannot coerce %q to DATETIME", v.s)
+		}
+	case TBlob:
+		if v.typ == TText {
+			return Blob([]byte(v.s)), nil
+		}
+	}
+	return Value{}, fmt.Errorf("relation: cannot coerce %s to %s", v.typ, t)
+}

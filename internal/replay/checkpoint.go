@@ -1,0 +1,209 @@
+package replay
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"flordb/internal/record"
+	"flordb/internal/script"
+	"flordb/internal/storage"
+)
+
+// ckptName builds the obj_store value_name for a checkpoint of the named
+// loop at the given iteration.
+func ckptName(loopName string, iter int) string {
+	return fmt.Sprintf("ckpt::%s::%d", loopName, iter)
+}
+
+// CkptBlobName exposes the obj_store naming convention for checkpoints so
+// other components (model registry queries, the CLI) can load them.
+func CkptBlobName(loopName string, iter int) string { return ckptName(loopName, iter) }
+
+// snapshotEntry is one checkpointed object in the serialized blob.
+type snapshotEntry struct {
+	Name string `json:"name"`
+	Data string `json:"data"` // base64 of the object's Snapshot()
+}
+
+// CheckpointManager serializes and restores the objects registered by a
+// flor.checkpointing scope.
+type CheckpointManager struct {
+	Policy CheckpointPolicy
+
+	objs     map[string]script.Value
+	loopName string // checkpoint loop, assigned at first LoopBegin in scope
+	active   bool
+
+	lastCkptDur time.Duration
+	// Taken records which iterations were checkpointed (for tests/benches).
+	Taken []int
+}
+
+// NewCheckpointManager creates a manager with the given policy (nil means
+// adaptive with 5% budget).
+func NewCheckpointManager(policy CheckpointPolicy) *CheckpointManager {
+	if policy == nil {
+		policy = &Adaptive{Epsilon: 0.05}
+	}
+	return &CheckpointManager{Policy: policy}
+}
+
+// Begin enters a checkpointing scope with the given objects. Objects must
+// implement script.Snapshotter.
+func (m *CheckpointManager) Begin(objs map[string]script.Value) error {
+	for name, v := range objs {
+		if _, ok := v.(script.Snapshotter); !ok {
+			return fmt.Errorf("replay: checkpointing object %q (%T) does not implement Snapshotter", name, v)
+		}
+	}
+	m.objs = objs
+	m.active = true
+	m.loopName = ""
+	return nil
+}
+
+// End leaves the checkpointing scope.
+func (m *CheckpointManager) End() {
+	m.active = false
+	m.objs = nil
+	m.loopName = ""
+}
+
+// Active reports whether a scope is open.
+func (m *CheckpointManager) Active() bool { return m.active }
+
+// ClaimLoop assigns the checkpoint loop if unassigned; it returns true when
+// the named loop is (or becomes) the checkpoint loop.
+func (m *CheckpointManager) ClaimLoop(name string) bool {
+	if !m.active {
+		return false
+	}
+	if m.loopName == "" {
+		m.loopName = name
+	}
+	return m.loopName == name
+}
+
+// ReleaseLoop clears the loop claim when the checkpoint loop ends.
+func (m *CheckpointManager) ReleaseLoop(name string) {
+	if m.loopName == name {
+		m.loopName = ""
+	}
+}
+
+// Serialize captures the current state of all registered objects into one
+// blob.
+func (m *CheckpointManager) Serialize() ([]byte, error) {
+	entries := make([]snapshotEntry, 0, len(m.objs))
+	for name, v := range m.objs {
+		snap := v.(script.Snapshotter)
+		data, err := snap.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("replay: snapshot %q: %w", name, err)
+		}
+		entries = append(entries, snapshotEntry{Name: name, Data: base64.StdEncoding.EncodeToString(data)})
+	}
+	// Deterministic order for stable blobs.
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			if entries[j].Name < entries[i].Name {
+				entries[i], entries[j] = entries[j], entries[i]
+			}
+		}
+	}
+	return json.Marshal(entries)
+}
+
+// RestoreObjects rehydrates objects from a serialized checkpoint blob.
+// Objects present in the blob but not requested are ignored; requested
+// objects missing from the blob are an error.
+func RestoreObjects(blob []byte, objs map[string]script.Value) error {
+	return (&CheckpointManager{}).RestoreInto(blob, objs)
+}
+
+// RestoreInto rehydrates registered objects from a serialized blob. Objects
+// present in the blob but not registered are ignored; registered objects
+// missing from the blob are an error.
+func (m *CheckpointManager) RestoreInto(blob []byte, objs map[string]script.Value) error {
+	var entries []snapshotEntry
+	if err := json.Unmarshal(blob, &entries); err != nil {
+		return fmt.Errorf("replay: decode checkpoint: %w", err)
+	}
+	byName := make(map[string]snapshotEntry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	for name, v := range objs {
+		e, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("replay: checkpoint missing object %q", name)
+		}
+		data, err := base64.StdEncoding.DecodeString(e.Data)
+		if err != nil {
+			return fmt.Errorf("replay: checkpoint %q: %w", name, err)
+		}
+		snap, ok := v.(script.Snapshotter)
+		if !ok {
+			return fmt.Errorf("replay: object %q is not a Snapshotter", name)
+		}
+		if err := snap.Restore(data); err != nil {
+			return fmt.Errorf("replay: restore %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// MaybeCheckpoint consults the policy and, when told to, snapshots into the
+// tables (and WAL/blob store when present). Returns whether a checkpoint was
+// taken.
+func (m *CheckpointManager) MaybeCheckpoint(ctx *Context, loopName string, iter int, ctxID int64, bodyDur time.Duration) (bool, error) {
+	if !m.active || m.loopName != loopName {
+		return false, nil
+	}
+	if !m.Policy.ShouldCheckpoint(iter, bodyDur, m.lastCkptDur) {
+		return false, nil
+	}
+	start := time.Now()
+	blob, err := m.Serialize()
+	if err != nil {
+		return false, err
+	}
+	name := ckptName(loopName, iter)
+	if err := ctx.Tables.PutBlob(ctx.ProjID, ctx.Tstamp, ctx.Filename, ctxID, name, blob); err != nil {
+		return false, err
+	}
+	if ctx.Blobs != nil {
+		key, err := ctx.Blobs.Put(blob)
+		if err != nil {
+			return false, err
+		}
+		if ctx.WAL != nil {
+			rec := &record.CkptRecord{
+				Kind: record.KindCkpt, ProjID: ctx.ProjID, Tstamp: ctx.Tstamp,
+				Filename: ctx.Filename, CtxID: ctxID, Name: name, BlobKey: key,
+			}
+			if err := ctx.WAL.Append(rec); err != nil {
+				return false, err
+			}
+		}
+	}
+	m.lastCkptDur = time.Since(start)
+	if ad, ok := m.Policy.(*Adaptive); ok {
+		ad.RecordCheckpointCost(m.lastCkptDur)
+	}
+	m.Taken = append(m.Taken, iter)
+	return true, nil
+}
+
+// Context carries the shared state of one FlorDB execution (recording or
+// replay): identity, destination tables, and durability sinks.
+type Context struct {
+	ProjID   string
+	Filename string
+	Tstamp   int64
+	Tables   *record.Tables
+	WAL      *storage.WAL       // optional
+	Blobs    *storage.BlobStore // optional
+}

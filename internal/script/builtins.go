@@ -1,0 +1,423 @@
+package script
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// registerBuiltins installs the Flow standard library into an interpreter.
+func registerBuiltins(in *Interp) {
+	reg := func(name string, fn HostFunc) { in.RegisterHost(name, fn) }
+
+	reg("range", func(args []Value, _ map[string]Value) (Value, error) {
+		var start, stop, step int64 = 0, 0, 1
+		switch len(args) {
+		case 1:
+			s, ok := args[0].(int64)
+			if !ok {
+				return nil, fmt.Errorf("range: expected integer")
+			}
+			stop = s
+		case 2, 3:
+			a, aok := args[0].(int64)
+			b, bok := args[1].(int64)
+			if !aok || !bok {
+				return nil, fmt.Errorf("range: expected integers")
+			}
+			start, stop = a, b
+			if len(args) == 3 {
+				c, ok := args[2].(int64)
+				if !ok || c == 0 {
+					return nil, fmt.Errorf("range: bad step")
+				}
+				step = c
+			}
+		default:
+			return nil, fmt.Errorf("range expects 1-3 arguments")
+		}
+		var items []Value
+		if step > 0 {
+			for i := start; i < stop; i += step {
+				items = append(items, i)
+			}
+		} else {
+			for i := start; i > stop; i += step {
+				items = append(items, i)
+			}
+		}
+		return &List{Items: items}, nil
+	})
+
+	reg("len", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("len expects 1 argument")
+		}
+		switch x := args[0].(type) {
+		case *List:
+			return int64(len(x.Items)), nil
+		case *Dict:
+			return int64(x.Len()), nil
+		case string:
+			return int64(len(x)), nil
+		default:
+			return nil, fmt.Errorf("len: unsupported type %s", Repr(args[0]))
+		}
+	})
+
+	reg("print", func(args []Value, _ map[string]Value) (Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = Repr(a)
+		}
+		fmt.Fprintln(in.Stdout, strings.Join(parts, " "))
+		return nil, nil
+	})
+
+	reg("append", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) < 2 {
+			return nil, fmt.Errorf("append(list, items...) expects at least 2 arguments")
+		}
+		l, ok := args[0].(*List)
+		if !ok {
+			return nil, fmt.Errorf("append: first argument must be a list")
+		}
+		l.Items = append(l.Items, args[1:]...)
+		return l, nil
+	})
+
+	reg("str", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("str expects 1 argument")
+		}
+		return Repr(args[0]), nil
+	})
+
+	reg("int", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("int expects 1 argument")
+		}
+		switch x := args[0].(type) {
+		case int64:
+			return x, nil
+		case float64:
+			return int64(x), nil
+		case string:
+			n, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("int: cannot parse %q", x)
+			}
+			return n, nil
+		case bool:
+			if x {
+				return int64(1), nil
+			}
+			return int64(0), nil
+		default:
+			return nil, fmt.Errorf("int: unsupported type")
+		}
+	})
+
+	reg("float", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("float expects 1 argument")
+		}
+		switch x := args[0].(type) {
+		case int64:
+			return float64(x), nil
+		case float64:
+			return x, nil
+		case string:
+			f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+			if err != nil {
+				return nil, fmt.Errorf("float: cannot parse %q", x)
+			}
+			return f, nil
+		default:
+			return nil, fmt.Errorf("float: unsupported type")
+		}
+	})
+
+	reg("abs", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("abs expects 1 argument")
+		}
+		switch x := args[0].(type) {
+		case int64:
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		case float64:
+			return math.Abs(x), nil
+		default:
+			return nil, fmt.Errorf("abs: not a number")
+		}
+	})
+
+	reg("min", numReduce("min", func(a, b float64) float64 { return math.Min(a, b) }))
+	reg("max", numReduce("max", func(a, b float64) float64 { return math.Max(a, b) }))
+
+	reg("sum", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("sum expects 1 argument")
+		}
+		l, ok := args[0].(*List)
+		if !ok {
+			return nil, fmt.Errorf("sum: expected list")
+		}
+		var total float64
+		allInt := true
+		for _, it := range l.Items {
+			f, ok := toFloat(it)
+			if !ok {
+				return nil, fmt.Errorf("sum: non-numeric element %s", Repr(it))
+			}
+			if _, isInt := it.(int64); !isInt {
+				allInt = false
+			}
+			total += f
+		}
+		if allInt {
+			return int64(total), nil
+		}
+		return total, nil
+	})
+
+	reg("round", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) < 1 || len(args) > 2 {
+			return nil, fmt.Errorf("round expects 1-2 arguments")
+		}
+		f, ok := toFloat(args[0])
+		if !ok {
+			return nil, fmt.Errorf("round: not a number")
+		}
+		digits := int64(0)
+		if len(args) == 2 {
+			d, ok := args[1].(int64)
+			if !ok {
+				return nil, fmt.Errorf("round: digits must be an integer")
+			}
+			digits = d
+		}
+		scale := math.Pow(10, float64(digits))
+		return math.Round(f*scale) / scale, nil
+	})
+
+	reg("sorted", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("sorted expects 1 argument")
+		}
+		l, ok := args[0].(*List)
+		if !ok {
+			return nil, fmt.Errorf("sorted: expected list")
+		}
+		items := append([]Value(nil), l.Items...)
+		var sortErr error
+		sort.SliceStable(items, func(i, j int) bool {
+			lt, err := applyBinary("<", items[i], items[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			b, _ := lt.(bool)
+			return b
+		})
+		if sortErr != nil {
+			return nil, fmt.Errorf("sorted: %w", sortErr)
+		}
+		return &List{Items: items}, nil
+	})
+
+	reg("keys", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("keys expects 1 argument")
+		}
+		d, ok := args[0].(*Dict)
+		if !ok {
+			return nil, fmt.Errorf("keys: expected dict")
+		}
+		ks := d.Keys()
+		items := make([]Value, len(ks))
+		for i, k := range ks {
+			items[i] = k
+		}
+		return &List{Items: items}, nil
+	})
+
+	reg("get", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("get(dict, key, default) expects 3 arguments")
+		}
+		d, ok := args[0].(*Dict)
+		if !ok {
+			return nil, fmt.Errorf("get: expected dict")
+		}
+		k, ok := args[1].(string)
+		if !ok {
+			return nil, fmt.Errorf("get: key must be a string")
+		}
+		if v, found := d.Get(k); found {
+			return v, nil
+		}
+		return args[2], nil
+	})
+
+	reg("split", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("split(s, sep) expects 2 arguments")
+		}
+		s, sok := args[0].(string)
+		sep, pok := args[1].(string)
+		if !sok || !pok {
+			return nil, fmt.Errorf("split: expected strings")
+		}
+		parts := strings.Split(s, sep)
+		items := make([]Value, len(parts))
+		for i, p := range parts {
+			items[i] = p
+		}
+		return &List{Items: items}, nil
+	})
+
+	reg("join", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("join(list, sep) expects 2 arguments")
+		}
+		l, lok := args[0].(*List)
+		sep, sok := args[1].(string)
+		if !lok || !sok {
+			return nil, fmt.Errorf("join: expected (list, string)")
+		}
+		parts := make([]string, len(l.Items))
+		for i, it := range l.Items {
+			s, ok := it.(string)
+			if !ok {
+				return nil, fmt.Errorf("join: non-string element %s", Repr(it))
+			}
+			parts[i] = s
+		}
+		return strings.Join(parts, sep), nil
+	})
+
+	reg("upper", strFunc("upper", strings.ToUpper))
+	reg("lower", strFunc("lower", strings.ToLower))
+	reg("trim", strFunc("trim", strings.TrimSpace))
+
+	reg("startswith", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("startswith(s, prefix) expects 2 arguments")
+		}
+		s, sok := args[0].(string)
+		p, pok := args[1].(string)
+		if !sok || !pok {
+			return nil, fmt.Errorf("startswith: expected strings")
+		}
+		return strings.HasPrefix(s, p), nil
+	})
+
+	reg("slice", func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("slice(list, lo, hi) expects 3 arguments")
+		}
+		l, ok := args[0].(*List)
+		if !ok {
+			s, sok := args[0].(string)
+			if !sok {
+				return nil, fmt.Errorf("slice: expected list or string")
+			}
+			lo, hi, err := sliceBounds(args[1], args[2], int64(len(s)))
+			if err != nil {
+				return nil, err
+			}
+			return s[lo:hi], nil
+		}
+		lo, hi, err := sliceBounds(args[1], args[2], int64(len(l.Items)))
+		if err != nil {
+			return nil, err
+		}
+		return &List{Items: append([]Value(nil), l.Items[lo:hi]...)}, nil
+	})
+}
+
+func sliceBounds(loV, hiV Value, n int64) (int64, int64, error) {
+	lo, ok := loV.(int64)
+	if !ok {
+		return 0, 0, fmt.Errorf("slice: lo must be an integer")
+	}
+	hi, ok := hiV.(int64)
+	if !ok {
+		return 0, 0, fmt.Errorf("slice: hi must be an integer")
+	}
+	if lo < 0 {
+		lo += n
+	}
+	if hi < 0 {
+		hi += n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi, nil
+}
+
+func numReduce(name string, f func(a, b float64) float64) HostFunc {
+	return func(args []Value, _ map[string]Value) (Value, error) {
+		var vals []Value
+		if len(args) == 1 {
+			if l, ok := args[0].(*List); ok {
+				vals = l.Items
+			} else {
+				vals = args
+			}
+		} else {
+			vals = args
+		}
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("%s: empty input", name)
+		}
+		allInt := true
+		acc, ok := toFloat(vals[0])
+		if !ok {
+			return nil, fmt.Errorf("%s: non-numeric element", name)
+		}
+		if _, isInt := vals[0].(int64); !isInt {
+			allInt = false
+		}
+		for _, v := range vals[1:] {
+			fv, ok := toFloat(v)
+			if !ok {
+				return nil, fmt.Errorf("%s: non-numeric element", name)
+			}
+			if _, isInt := v.(int64); !isInt {
+				allInt = false
+			}
+			acc = f(acc, fv)
+		}
+		if allInt {
+			return int64(acc), nil
+		}
+		return acc, nil
+	}
+}
+
+func strFunc(name string, f func(string) string) HostFunc {
+	return func(args []Value, _ map[string]Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%s expects 1 argument", name)
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("%s: expected string", name)
+		}
+		return f(s), nil
+	}
+}

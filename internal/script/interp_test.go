@@ -1,0 +1,463 @@
+package script
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// runSrc executes Flow source with NopHooks and returns stdout.
+func runSrc(t *testing.T, src string) string {
+	t.Helper()
+	var out bytes.Buffer
+	in := NewInterp(NopHooks{}, &out)
+	f := mustParse(t, src)
+	if err := in.Run(f); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	in := NewInterp(NopHooks{}, nil)
+	f, err := Parse("test.flow", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return in.Run(f)
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	out := runSrc(t, "print(1 + 2 * 3, (1 + 2) * 3, 7 % 3, 10 / 4)\n")
+	if out != "7 9 1 2.5\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	out := runSrc(t, `print("a" + "b", "x" < "y", "ab" in "cabd")`+"\n")
+	if out != "ab true true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestComparisonsAndBooleans(t *testing.T) {
+	out := runSrc(t, "print(1 < 2 and 2 <= 2, 3 > 4 or not false, 1 == 1.0, 1 != 2)\n")
+	if out != "true true true true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// boom() would error; short circuit must avoid evaluating it.
+	src := `
+func boom() {
+    return 1 / 0
+}
+x = false and boom()
+y = true or boom()
+print(x, y)
+`
+	out := runSrc(t, src)
+	if out != "false true\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+x = 7
+if x > 10 {
+    print("big")
+} else if x > 5 {
+    print("mid")
+} else {
+    print("small")
+}
+`
+	if out := runSrc(t, src); out != "mid\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	src := `
+total = 0
+for i in range(10) {
+    if i == 3 { continue }
+    if i == 6 { break }
+    total = total + i
+}
+print(total)
+`
+	if out := runSrc(t, src); out != "12\n" { // 0+1+2+4+5
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+n = 1
+while n < 100 {
+    n = n * 2
+}
+print(n)
+`
+	if out := runSrc(t, src); out != "128\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+func fib(n) {
+    if n < 2 { return n }
+    return fib(n - 1) + fib(n - 2)
+}
+print(fib(10))
+`
+	if out := runSrc(t, src); out != "55\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestClosuresReadOuter(t *testing.T) {
+	src := `
+base = 10
+func addBase(x) {
+    return x + base
+}
+print(addBase(5))
+`
+	if out := runSrc(t, src); out != "15\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestListsAndMutation(t *testing.T) {
+	src := `
+xs = [1, 2, 3]
+xs[0] = 99
+append(xs, 4)
+print(xs, len(xs), xs[-1])
+`
+	if out := runSrc(t, src); out != "[99, 2, 3, 4] 4 4\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestDicts(t *testing.T) {
+	src := `
+d = {"a": 1}
+d["b"] = 2
+print(d["a"] + d["b"], len(d), "a" in d, "z" in d, get(d, "z", 42))
+for k in d {
+    print(k)
+}
+`
+	out := runSrc(t, src)
+	if out != "3 2 true false 42\na\nb\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`print(str(42), int("7"), float("2.5"), abs(-3))`, "42 7 2.5 3\n"},
+		{`print(min(3, 1, 2), max([4, 9, 2]), sum([1, 2, 3]))`, "1 9 6\n"},
+		{`print(round(2.567, 2), round(2.4))`, "2.57 2\n"},
+		{`print(sorted([3, 1, 2]))`, "[3, 1, 2]\n"}, // placeholder replaced below
+		{`print(split("a,b,c", ","), join(["x", "y"], "-"))`, `["a", "b", "c"] x-y` + "\n"},
+		{`print(upper("ab"), lower("AB"), trim("  x "))`, "AB ab x\n"},
+		{`print(startswith("train.flow", "train"), startswith("x", "y"))`, "true false\n"},
+		{`print(slice([1, 2, 3, 4], 1, 3), slice("hello", 0, 2))`, "[2, 3] he\n"},
+		{`print(range(2, 8, 3))`, "[2, 5]\n"},
+		{`print(len(range(0)))`, "0\n"},
+	}
+	for _, c := range cases {
+		want := c.want
+		if strings.Contains(c.src, "sorted") {
+			want = "[1, 2, 3]\n"
+		}
+		if out := runSrc(t, c.src+"\n"); out != want {
+			t.Fatalf("%s => %q want %q", c.src, out, want)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		"x = 1 / 0\n",
+		"x = [1][5]\n",
+		"x = {\"a\": 1}[\"b\"]\n",
+		"x = undefined_name\n",
+		"undefined_func()\n",
+		"x = 1 + \"s\"\n",
+		"x = 5 % 0\n",
+		"for x in 42 { }\n",
+		"x = -\"s\"\n",
+		"x = [1]\nx[\"k\"] = 2\n",
+	}
+	for _, src := range cases {
+		if err := runErr(t, src); err == nil {
+			t.Fatalf("expected runtime error for %q", src)
+		}
+	}
+}
+
+func TestRuntimeErrorHasPosition(t *testing.T) {
+	err := runErr(t, "x = 1\ny = 1 / 0\n")
+	if err == nil || !strings.Contains(err.Error(), "test.flow:2") {
+		t.Fatalf("error should carry position: %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	in := NewInterp(NopHooks{}, nil)
+	in.MaxSteps = 1000
+	f := mustParse(t, "while true { x = 1 }\n")
+	if err := in.Run(f); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("expected step limit error, got %v", err)
+	}
+}
+
+func TestHostFunctions(t *testing.T) {
+	in := NewInterp(NopHooks{}, nil)
+	var got []Value
+	in.RegisterHost("capture", func(args []Value, kwargs map[string]Value) (Value, error) {
+		got = append(got, args...)
+		if v, ok := kwargs["extra"]; ok {
+			got = append(got, v)
+		}
+		return int64(len(got)), nil
+	})
+	f := mustParse(t, "n = capture(1, \"two\", extra=3.0)\nprint(n)\n")
+	var out bytes.Buffer
+	in.Stdout = &out
+	if err := in.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != int64(1) || got[1] != "two" || got[2] != 3.0 {
+		t.Fatalf("host args: %v", got)
+	}
+	if out.String() != "3\n" {
+		t.Fatalf("return: %q", out.String())
+	}
+}
+
+func TestHostFunctionError(t *testing.T) {
+	in := NewInterp(NopHooks{}, nil)
+	in.RegisterHost("fail", func([]Value, map[string]Value) (Value, error) {
+		return nil, fmt.Errorf("host failure")
+	})
+	f := mustParse(t, "fail()\n")
+	if err := in.Run(f); err == nil || !strings.Contains(err.Error(), "host failure") {
+		t.Fatalf("host error: %v", err)
+	}
+}
+
+// recordingHooks captures flor API calls for assertions.
+type recordingHooks struct {
+	NopHooks
+	logs    []string
+	args    []string
+	loops   []string
+	commits int
+	ckpts   []map[string]Value
+	iters   []string
+}
+
+func (h *recordingHooks) Log(name string, v Value) (Value, error) {
+	h.logs = append(h.logs, name+"="+Repr(v))
+	return v, nil
+}
+
+func (h *recordingHooks) Arg(name string, def Value) (Value, error) {
+	h.args = append(h.args, name)
+	return def, nil
+}
+
+func (h *recordingHooks) LoopBegin(name string, vals []Value) (LoopSession, error) {
+	h.loops = append(h.loops, fmt.Sprintf("%s/%d", name, len(vals)))
+	return nopSession{}, nil
+}
+
+func (h *recordingHooks) Commit() error {
+	h.commits++
+	return nil
+}
+
+func (h *recordingHooks) CheckpointingBegin(objs map[string]Value) error {
+	h.ckpts = append(h.ckpts, objs)
+	return nil
+}
+
+func (h *recordingHooks) IterationBegin(name string, v Value) error {
+	h.iters = append(h.iters, name+"="+Repr(v))
+	return nil
+}
+
+func TestFlorHookDispatch(t *testing.T) {
+	src := `
+lr = flor.arg("lr", 0.001)
+with flor.checkpointing(model=lr) {
+    for epoch in flor.loop("epoch", range(2)) {
+        flor.log("loss", epoch)
+    }
+}
+with flor.iteration("document", nil, "doc1.pdf") {
+    flor.log("page_color", 3)
+}
+flor.commit()
+`
+	h := &recordingHooks{}
+	in := NewInterp(h, nil)
+	f := mustParse(t, src)
+	if err := in.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.args) != 1 || h.args[0] != "lr" {
+		t.Fatalf("args: %v", h.args)
+	}
+	if len(h.loops) != 1 || h.loops[0] != "epoch/2" {
+		t.Fatalf("loops: %v", h.loops)
+	}
+	if len(h.logs) != 3 || h.logs[0] != "loss=0" || h.logs[2] != "page_color=3" {
+		t.Fatalf("logs: %v", h.logs)
+	}
+	if h.commits != 1 {
+		t.Fatalf("commits: %d", h.commits)
+	}
+	if len(h.ckpts) != 1 {
+		t.Fatalf("ckpts: %v", h.ckpts)
+	}
+	if len(h.iters) != 1 || h.iters[0] != "document=doc1.pdf" {
+		t.Fatalf("iters: %v", h.iters)
+	}
+}
+
+func TestFlorLogPassthrough(t *testing.T) {
+	// flor.log returns its value, so it can wrap expressions.
+	src := "x = flor.log(\"v\", 5) + 1\nprint(x)\n"
+	if out := runSrc(t, src); out != "6\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+// skipSession skips even iterations.
+type skipSession struct{ ran []int }
+
+func (s *skipSession) Decide(i int, _ Value) (bool, error) { return i%2 == 1, nil }
+func (s *skipSession) PostIter(i int, _ Value) error       { s.ran = append(s.ran, i); return nil }
+func (s *skipSession) End() error                          { return nil }
+
+type skipHooks struct {
+	NopHooks
+	session *skipSession
+}
+
+func (h *skipHooks) LoopBegin(string, []Value) (LoopSession, error) { return h.session, nil }
+
+func TestLoopSessionSkipControl(t *testing.T) {
+	src := `
+seen = []
+for i in flor.loop("epoch", range(6)) {
+    append(seen, i)
+}
+print(seen)
+`
+	h := &skipHooks{session: &skipSession{}}
+	var out bytes.Buffer
+	in := NewInterp(h, &out)
+	f := mustParse(t, src)
+	if err := in.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "[1, 3, 5]\n" {
+		t.Fatalf("skip control: %q", out.String())
+	}
+	if len(h.session.ran) != 3 {
+		t.Fatalf("PostIter calls: %v", h.session.ran)
+	}
+}
+
+func TestFlorMisuseErrors(t *testing.T) {
+	cases := []string{
+		"x = flor.loop(\"e\", range(2))\n",       // loop outside for
+		"with flor.commit() { }\n",               // with on non-context call
+		"flor.log(\"only-name\")\n",              // wrong arity
+		"x = flor.arg(5, 1)\n",                   // non-string name
+		"for x in flor.loop(5, range(2)) { }\n",  // non-string loop name
+		"with flor.iteration(\"d\", nil) { }\n",  // wrong arity
+	}
+	for _, src := range cases {
+		if err := runErr(t, src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestValueEqualDeep(t *testing.T) {
+	if !ValueEqual(NewList(int64(1), "a"), NewList(int64(1), "a")) {
+		t.Fatal("deep list equality")
+	}
+	if ValueEqual(NewList(int64(1)), NewList(int64(2))) {
+		t.Fatal("lists differ")
+	}
+	d1, d2 := NewDict(), NewDict()
+	d1.Set("k", int64(1))
+	d2.Set("k", int64(1))
+	if !ValueEqual(d1, d2) {
+		t.Fatal("deep dict equality")
+	}
+	if !ValueEqual(int64(2), float64(2)) {
+		t.Fatal("numeric cross-type equality")
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	truthy := []Value{int64(1), 0.5, "x", true, NewList(int64(1))}
+	falsy := []Value{nil, int64(0), 0.0, "", false, NewList(), NewDict()}
+	for _, v := range truthy {
+		if !Truthy(v) {
+			t.Fatalf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if Truthy(v) {
+			t.Fatalf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestTopLevelReturnEndsScript(t *testing.T) {
+	src := "print(\"a\")\nreturn\nprint(\"b\")\n"
+	if out := runSrc(t, src); out != "a\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestEnvScoping(t *testing.T) {
+	// Function locals must not leak; assignment in loop body updates
+	// enclosing binding.
+	src := `
+x = 0
+func bump() {
+    y = 99
+    return y
+}
+bump()
+for i in range(3) {
+    x = x + 1
+}
+print(x)
+`
+	if out := runSrc(t, src); out != "3\n" {
+		t.Fatalf("out = %q", out)
+	}
+	if err := runErr(t, "func f() { y = 1 }\nf()\nprint(y)\n"); err == nil {
+		t.Fatal("function local should not leak")
+	}
+}

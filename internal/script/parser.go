@@ -1,0 +1,620 @@
+package script
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses Flow source into a File AST.
+func Parse(filename, src string) (*File, error) {
+	toks, err := LexFlow(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &flowParser{toks: toks, filename: filename}
+	stmts, err := p.parseBlockUntil(TEOF, "")
+	if err != nil {
+		return nil, err
+	}
+	return &File{Name: filename, Stmts: stmts}, nil
+}
+
+type flowParser struct {
+	toks     []Token
+	i        int
+	filename string
+}
+
+func (p *flowParser) cur() Token  { return p.toks[p.i] }
+func (p *flowParser) next() Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *flowParser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("flow: %s:%d:%d: %s", p.filename, t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *flowParser) skipNewlines() {
+	for p.cur().Kind == TNewline || (p.cur().Kind == TSymbol && p.cur().Text == ";") {
+		p.i++
+	}
+}
+
+func (p *flowParser) atSymbol(s string) bool {
+	return p.cur().Kind == TSymbol && p.cur().Text == s
+}
+
+func (p *flowParser) atKeyword(s string) bool {
+	return p.cur().Kind == TKeyword && p.cur().Text == s
+}
+
+func (p *flowParser) acceptSymbol(s string) bool {
+	if p.atSymbol(s) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *flowParser) expectSymbol(s string) error {
+	if p.acceptSymbol(s) {
+		return nil
+	}
+	return p.errf("expected %q, found %s", s, p.cur())
+}
+
+func (p *flowParser) expectKeyword(s string) error {
+	if p.atKeyword(s) {
+		p.i++
+		return nil
+	}
+	return p.errf("expected %q, found %s", s, p.cur())
+}
+
+// parseBlockUntil parses statements until the terminator token. For "}"
+// blocks pass (TSymbol, "}"); for top level pass (TEOF, "").
+func (p *flowParser) parseBlockUntil(kind TokKind, text string) ([]Stmt, error) {
+	stmts := []Stmt{}
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == kind && (text == "" || t.Text == text) {
+			return stmts, nil
+		}
+		if t.Kind == TEOF {
+			return nil, p.errf("unexpected end of file (unclosed block?)")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+func (p *flowParser) parseBracedBlock() ([]Stmt, error) {
+	if err := p.expectSymbol("{"); err != nil {
+		return nil, err
+	}
+	stmts, err := p.parseBlockUntil(TSymbol, "}")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("}"); err != nil {
+		return nil, err
+	}
+	return stmts, nil
+}
+
+func (p *flowParser) endStmt() error {
+	t := p.cur()
+	if t.Kind == TNewline || (t.Kind == TSymbol && t.Text == ";") {
+		p.i++
+		return nil
+	}
+	if t.Kind == TEOF || (t.Kind == TSymbol && t.Text == "}") {
+		return nil
+	}
+	return p.errf("expected end of statement, found %s", t)
+}
+
+func (p *flowParser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	line := t.Line
+	if t.Kind == TKeyword {
+		switch t.Text {
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "while":
+			return p.parseWhile()
+		case "func":
+			return p.parseFunc()
+		case "with":
+			return p.parseWith()
+		case "return":
+			p.next()
+			var x Expr
+			if p.cur().Kind != TNewline && p.cur().Kind != TEOF && !p.atSymbol("}") && !p.atSymbol(";") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				x = e
+			}
+			if err := p.endStmt(); err != nil {
+				return nil, err
+			}
+			return &ReturnStmt{pos: pos{line}, X: x}, nil
+		case "break":
+			p.next()
+			if err := p.endStmt(); err != nil {
+				return nil, err
+			}
+			return &BreakStmt{pos: pos{line}}, nil
+		case "continue":
+			p.next()
+			if err := p.endStmt(); err != nil {
+				return nil, err
+			}
+			return &ContinueStmt{pos: pos{line}}, nil
+		}
+		return nil, p.errf("unexpected keyword %q", t.Text)
+	}
+
+	// Expression or assignment.
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("=") {
+		switch x.(type) {
+		case *NameExpr, *IndexExpr:
+		default:
+			return nil, p.errf("invalid assignment target %s", x.Render())
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endStmt(); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{pos: pos{line}, Target: x, Value: v}, nil
+	}
+	if err := p.endStmt(); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{pos: pos{line}, X: x}, nil
+}
+
+func (p *flowParser) parseIf() (Stmt, error) {
+	line := p.cur().Line
+	if err := p.expectKeyword("if"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBracedBlock()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &IfStmt{pos: pos{line}, Cond: cond, Then: then}
+	if p.atKeyword("else") {
+		p.next()
+		if p.atKeyword("if") {
+			elseIf, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Else = []Stmt{elseIf}
+		} else {
+			elseBlock, err := p.parseBracedBlock()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Else = elseBlock
+		}
+	}
+	return stmt, nil
+}
+
+func (p *flowParser) parseFor() (Stmt, error) {
+	line := p.cur().Line
+	if err := p.expectKeyword("for"); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TIdent {
+		return nil, p.errf("expected loop variable, found %s", p.cur())
+	}
+	v := p.next().Text
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	iter, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBracedBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{pos: pos{line}, Var: v, Iterable: iter, Body: body}, nil
+}
+
+func (p *flowParser) parseWhile() (Stmt, error) {
+	line := p.cur().Line
+	if err := p.expectKeyword("while"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBracedBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{pos: pos{line}, Cond: cond, Body: body}, nil
+}
+
+func (p *flowParser) parseFunc() (Stmt, error) {
+	line := p.cur().Line
+	if err := p.expectKeyword("func"); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TIdent {
+		return nil, p.errf("expected function name")
+	}
+	name := p.next().Text
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.atSymbol(")") {
+		if p.cur().Kind != TIdent {
+			return nil, p.errf("expected parameter name")
+		}
+		params = append(params, p.next().Text)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBracedBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncStmt{pos: pos{line}, Name: name, Params: params, Body: body}, nil
+}
+
+func (p *flowParser) parseWith() (Stmt, error) {
+	line := p.cur().Line
+	if err := p.expectKeyword("with"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	call, ok := e.(*CallExpr)
+	if !ok {
+		return nil, p.errf("with requires a call expression, found %s", e.Render())
+	}
+	body, err := p.parseBracedBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WithStmt{pos: pos{line}, Call: call, Body: body}, nil
+}
+
+// ---------- Expressions ----------
+
+func (p *flowParser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *flowParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		line := p.next().Line
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{pos: pos{line}, Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *flowParser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		line := p.next().Line
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{pos: pos{line}, Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *flowParser) parseNot() (Expr, error) {
+	if p.atKeyword("not") {
+		line := p.next().Line
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{pos: pos{line}, Op: "not", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *flowParser) parseComparison() (Expr, error) {
+	l, err := p.parseAddSub()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TSymbol {
+		switch p.cur().Text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			op := p.next()
+			r, err := p.parseAddSub()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{pos: pos{op.Line}, Op: op.Text, L: l, R: r}, nil
+		}
+	}
+	if p.atKeyword("in") {
+		line := p.next().Line
+		r, err := p.parseAddSub()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{pos: pos{line}, Op: "in", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *flowParser) parseAddSub() (Expr, error) {
+	l, err := p.parseMulDiv()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("+") || p.atSymbol("-") {
+		op := p.next()
+		r, err := p.parseMulDiv()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{pos: pos{op.Line}, Op: op.Text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *flowParser) parseMulDiv() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("*") || p.atSymbol("/") || p.atSymbol("%") {
+		op := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{pos: pos{op.Line}, Op: op.Text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *flowParser) parseUnary() (Expr, error) {
+	if p.atSymbol("-") {
+		line := p.next().Line
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{pos: pos{line}, Op: "-", X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *flowParser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.atSymbol("[") {
+			line := p.next().Line
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{pos: pos{line}, X: x, Index: idx}
+			continue
+		}
+		break
+	}
+	return x, nil
+}
+
+func (p *flowParser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TNumber:
+		p.next()
+		if !containsAny(t.Text, ".eE") {
+			n, err := strconv.ParseInt(t.Text, 10, 64)
+			if err != nil {
+				return nil, p.errf("bad integer %q", t.Text)
+			}
+			return &NumberLit{pos: pos{t.Line}, IsInt: true, I: n}, nil
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &NumberLit{pos: pos{t.Line}, F: f}, nil
+	case TString:
+		p.next()
+		return &StringLit{pos: pos{t.Line}, S: t.S()}, nil
+	case TKeyword:
+		switch t.Text {
+		case "true":
+			p.next()
+			return &BoolLit{pos: pos{t.Line}, B: true}, nil
+		case "false":
+			p.next()
+			return &BoolLit{pos: pos{t.Line}, B: false}, nil
+		case "nil":
+			p.next()
+			return &NilLit{pos: pos{t.Line}}, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.Text)
+	case TIdent:
+		p.next()
+		name := t.Text
+		for p.atSymbol(".") {
+			p.next()
+			if p.cur().Kind != TIdent {
+				return nil, p.errf("expected identifier after '.'")
+			}
+			name += "." + p.next().Text
+		}
+		if p.atSymbol("(") {
+			return p.parseCall(name, t.Line)
+		}
+		return &NameExpr{pos: pos{t.Line}, Name: name}, nil
+	case TSymbol:
+		switch t.Text {
+		case "(":
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "[":
+			p.next()
+			lit := &ListLit{pos: pos{t.Line}}
+			p.skipNewlines()
+			for !p.atSymbol("]") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Items = append(lit.Items, e)
+				p.skipNewlines()
+				if !p.acceptSymbol(",") {
+					break
+				}
+				p.skipNewlines()
+			}
+			if err := p.expectSymbol("]"); err != nil {
+				return nil, err
+			}
+			return lit, nil
+		case "{":
+			p.next()
+			lit := &DictLit{pos: pos{t.Line}}
+			p.skipNewlines()
+			for !p.atSymbol("}") {
+				k, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(":"); err != nil {
+					return nil, err
+				}
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Keys = append(lit.Keys, k)
+				lit.Vals = append(lit.Vals, v)
+				p.skipNewlines()
+				if !p.acceptSymbol(",") {
+					break
+				}
+				p.skipNewlines()
+			}
+			if err := p.expectSymbol("}"); err != nil {
+				return nil, err
+			}
+			return lit, nil
+		}
+	}
+	return nil, p.errf("unexpected token %s", t)
+}
+
+func (p *flowParser) parseCall(fn string, line int) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{pos: pos{line}, Fn: fn}
+	p.skipNewlines()
+	for !p.atSymbol(")") {
+		// kwarg: IDENT '=' expr (but not '==')
+		if p.cur().Kind == TIdent && p.toks[p.i+1].Kind == TSymbol && p.toks[p.i+1].Text == "=" {
+			name := p.next().Text
+			p.next() // '='
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.KwNames = append(call.KwNames, name)
+			call.KwVals = append(call.KwVals, v)
+		} else {
+			if len(call.KwNames) > 0 {
+				return nil, p.errf("positional argument after keyword argument")
+			}
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+		}
+		p.skipNewlines()
+		if !p.acceptSymbol(",") {
+			break
+		}
+		p.skipNewlines()
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+// S returns the token text (string literals already decoded by the lexer).
+func (t Token) S() string { return t.Text }
+
+func containsAny(s, chars string) bool {
+	for _, c := range chars {
+		for _, sc := range s {
+			if sc == c {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,247 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test.flow", src)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return f
+}
+
+func TestLexFlowBasics(t *testing.T) {
+	toks, err := LexFlow("x = 1 + 2.5  # comment\ny = \"a\\nb\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind != TNewline && tok.Kind != TEOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	want := []string{"x", "=", "1", "+", "2.5", "y", "=", "a\nb"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens: %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d: %q want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexFlowNewlineInsideParens(t *testing.T) {
+	toks, err := LexFlow("f(1,\n  2)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tok := range toks {
+		if tok.Kind == TNewline && i < len(toks)-2 {
+			t.Fatalf("newline inside parens not suppressed: %v", toks)
+		}
+	}
+}
+
+func TestLexFlowErrors(t *testing.T) {
+	if _, err := LexFlow(`x = "unterminated`); err == nil {
+		t.Fatal("unterminated string must fail")
+	}
+	if _, err := LexFlow("x = \"a\nb\""); err == nil {
+		t.Fatal("newline in string must fail")
+	}
+	if _, err := LexFlow("x @ y"); err == nil {
+		t.Fatal("bad char must fail")
+	}
+}
+
+func TestParseAssignAndExpr(t *testing.T) {
+	f := mustParse(t, "x = 1 + 2 * 3\ny = (1 + 2) * 3\nprint(x, y)\n")
+	if len(f.Stmts) != 3 {
+		t.Fatalf("stmts = %d", len(f.Stmts))
+	}
+	a := f.Stmts[0].(*AssignStmt)
+	// Precedence: 1 + (2*3)
+	if a.Value.Render() != "(1 + (2 * 3))" {
+		t.Fatalf("precedence: %s", a.Value.Render())
+	}
+	b := f.Stmts[1].(*AssignStmt)
+	if b.Value.Render() != "((1 + 2) * 3)" {
+		t.Fatalf("parens: %s", b.Value.Render())
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+if x > 1 {
+    y = 1
+} else if x > 0 {
+    y = 2
+} else {
+    y = 3
+}
+for i in range(10) {
+    if i == 5 { break }
+    continue
+}
+while x < 10 {
+    x = x + 1
+}
+`
+	f := mustParse(t, src)
+	if len(f.Stmts) != 3 {
+		t.Fatalf("stmts = %d", len(f.Stmts))
+	}
+	ifs := f.Stmts[0].(*IfStmt)
+	if len(ifs.Else) != 1 {
+		t.Fatalf("else-if nesting: %v", ifs.Else)
+	}
+	if _, ok := ifs.Else[0].(*IfStmt); !ok {
+		t.Fatal("else-if should nest an IfStmt")
+	}
+}
+
+func TestParseFuncAndCall(t *testing.T) {
+	src := `
+func add(a, b) {
+    return a + b
+}
+z = add(1, 2)
+`
+	f := mustParse(t, src)
+	fn := f.Stmts[0].(*FuncStmt)
+	if fn.Name != "add" || len(fn.Params) != 2 {
+		t.Fatalf("func: %+v", fn)
+	}
+}
+
+func TestParseDottedCallsAndKwargs(t *testing.T) {
+	src := `flor.log("acc", acc)
+x = flor.arg("hidden", default=500)
+`
+	f := mustParse(t, src)
+	call := f.Stmts[0].(*ExprStmt).X.(*CallExpr)
+	if call.Fn != "flor.log" || len(call.Args) != 2 {
+		t.Fatalf("call: %+v", call)
+	}
+	arg := f.Stmts[1].(*AssignStmt).Value.(*CallExpr)
+	if len(arg.KwNames) != 1 || arg.KwNames[0] != "default" {
+		t.Fatalf("kwargs: %+v", arg)
+	}
+}
+
+func TestParseWithStatement(t *testing.T) {
+	src := `
+with flor.checkpointing(model=net, optimizer=opt) {
+    for epoch in flor.loop("epoch", range(3)) {
+        flor.log("loss", 0.5)
+    }
+}
+`
+	f := mustParse(t, src)
+	w := f.Stmts[0].(*WithStmt)
+	if w.Call.Fn != "flor.checkpointing" || len(w.Call.KwNames) != 2 {
+		t.Fatalf("with: %+v", w.Call)
+	}
+	loop := w.Body[0].(*ForStmt)
+	if call, ok := loop.Iterable.(*CallExpr); !ok || call.Fn != "flor.loop" {
+		t.Fatalf("loop iterable: %v", loop.Iterable.Render())
+	}
+}
+
+func TestParseListsDictsIndexing(t *testing.T) {
+	src := `xs = [1, 2, 3]
+d = {"a": 1, "b": 2}
+v = xs[0] + d["a"]
+xs[1] = 9
+d["c"] = 3
+`
+	f := mustParse(t, src)
+	if len(f.Stmts) != 5 {
+		t.Fatalf("stmts = %d", len(f.Stmts))
+	}
+	if _, ok := f.Stmts[3].(*AssignStmt).Target.(*IndexExpr); !ok {
+		t.Fatal("index assignment target")
+	}
+}
+
+func TestParseErrorsFlow(t *testing.T) {
+	bad := []string{
+		"if x {",
+		"for in range(3) { }",
+		"x = ",
+		"func () { }",
+		"with x { }",               // with requires a call
+		"1 = 2",                    // bad assignment target
+		"for x in range(3) }",      // missing {
+		"return 1 2",               // trailing junk
+		"x = f(a=1, 2)",            // positional after keyword
+		"while { }",                // missing condition
+		"with flor.commit() else", // junk
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad.flow", src); err == nil {
+			t.Fatalf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	src := `
+hidden = flor.arg("hidden", 500)
+with flor.checkpointing(model=net) {
+    for epoch in flor.loop("epoch", range(hidden)) {
+        loss = step(net)
+        flor.log("loss", loss)
+        if loss < 0.1 {
+            break
+        }
+    }
+}
+func helper(a) {
+    return a * 2
+}
+`
+	f := mustParse(t, src)
+	printed := Print(f)
+	f2, err := Parse("test.flow", printed)
+	if err != nil {
+		t.Fatalf("reparse of printed output failed: %v\n%s", err, printed)
+	}
+	printed2 := Print(f2)
+	if printed != printed2 {
+		t.Fatalf("print not idempotent:\n%s\n---\n%s", printed, printed2)
+	}
+}
+
+func TestSignatureStability(t *testing.T) {
+	// Signatures must be independent of whitespace and comments so that
+	// alignment survives reformatting.
+	f1 := mustParse(t, "x=1+2\n")
+	f2 := mustParse(t, "x  =  1 + 2   # comment\n")
+	if f1.Stmts[0].Signature() != f2.Stmts[0].Signature() {
+		t.Fatalf("signatures differ: %q vs %q", f1.Stmts[0].Signature(), f2.Stmts[0].Signature())
+	}
+}
+
+func TestStatementsOnSingleLineWithSemicolons(t *testing.T) {
+	f := mustParse(t, "x = 1; y = 2; print(x + y)\n")
+	if len(f.Stmts) != 3 {
+		t.Fatalf("stmts = %d", len(f.Stmts))
+	}
+}
+
+func TestNegativeNumbersAndUnary(t *testing.T) {
+	f := mustParse(t, "x = -5\ny = -x + 1\nz = not true\n")
+	if f.Stmts[0].(*AssignStmt).Value.Render() != "-5" {
+		t.Fatalf("neg literal: %s", f.Stmts[0].(*AssignStmt).Value.Render())
+	}
+	if !strings.Contains(f.Stmts[2].(*AssignStmt).Value.Render(), "not") {
+		t.Fatal("not rendering")
+	}
+}

@@ -1,0 +1,241 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPropagateInjectsNewLog(t *testing.T) {
+	oldSrc := `
+for epoch in flor.loop("epoch", range(3)) {
+    loss = step(net)
+    acc = eval(net)
+    flor.log("acc", acc)
+}
+`
+	newSrc := `
+for epoch in flor.loop("epoch", range(3)) {
+    loss = step(net)
+    flor.log("loss", loss)
+    acc = eval(net)
+    flor.log("acc", acc)
+}
+`
+	oldF := mustParse(t, oldSrc)
+	newF := mustParse(t, newSrc)
+	merged, res := Propagate(oldF, newF)
+	if res.Injected != 1 {
+		t.Fatalf("injected = %d", res.Injected)
+	}
+	printed := Print(merged)
+	// The new log must land right after `loss = step(net)`.
+	lossIdx := strings.Index(printed, "loss = step(net)")
+	logIdx := strings.Index(printed, `flor.log("loss", loss)`)
+	accIdx := strings.Index(printed, "acc = eval(net)")
+	if lossIdx < 0 || logIdx < 0 || accIdx < 0 || !(lossIdx < logIdx && logIdx < accIdx) {
+		t.Fatalf("placement wrong:\n%s", printed)
+	}
+	// The merged file must parse and count one more log than the old.
+	if CountLogCalls(merged) != CountLogCalls(oldF)+1 {
+		t.Fatalf("log count: %d vs %d", CountLogCalls(merged), CountLogCalls(oldF))
+	}
+}
+
+func TestPropagateCarriesDerivationAssignments(t *testing.T) {
+	oldSrc := `
+for e in flor.loop("epoch", range(2)) {
+    loss = step(net)
+}
+`
+	newSrc := `
+for e in flor.loop("epoch", range(2)) {
+    loss = step(net)
+    ratio = loss * 100
+    flor.log("ratio", ratio)
+}
+`
+	merged, res := Propagate(mustParse(t, oldSrc), mustParse(t, newSrc))
+	if res.Injected != 2 {
+		t.Fatalf("injected = %d (want assignment + log)", res.Injected)
+	}
+	printed := Print(merged)
+	if !strings.Contains(printed, "ratio = (loss * 100)") || !strings.Contains(printed, `flor.log("ratio", ratio)`) {
+		t.Fatalf("derivation missing:\n%s", printed)
+	}
+}
+
+func TestPropagateDoesNotInjectComputation(t *testing.T) {
+	oldSrc := "x = 1\n"
+	newSrc := "x = 1\nlaunch_missiles()\ny = train(x)\n"
+	_, res := Propagate(mustParse(t, oldSrc), mustParse(t, newSrc))
+	// launch_missiles() is a non-log expression statement: never injected.
+	// y = train(x) is an assignment (pure derivation) so it IS carried.
+	merged, _ := Propagate(mustParse(t, oldSrc), mustParse(t, newSrc))
+	printed := Print(merged)
+	if strings.Contains(printed, "launch_missiles") {
+		t.Fatalf("computation injected:\n%s", printed)
+	}
+	if res.Injected != 1 {
+		t.Fatalf("injected = %d", res.Injected)
+	}
+}
+
+func TestPropagateSurvivesRefactor(t *testing.T) {
+	// Old version has different surrounding code; the anchor (the matched
+	// statement before the log) still places the statement correctly.
+	oldSrc := `
+setup()
+for e in flor.loop("epoch", range(5)) {
+    loss = step(net)
+    extra_old_work()
+}
+teardown()
+`
+	newSrc := `
+prepare_differently()
+for e in flor.loop("epoch", range(5)) {
+    loss = step(net)
+    flor.log("loss", loss)
+}
+`
+	merged, res := Propagate(mustParse(t, oldSrc), mustParse(t, newSrc))
+	if res.Injected != 1 {
+		t.Fatalf("injected = %d", res.Injected)
+	}
+	printed := Print(merged)
+	lossIdx := strings.Index(printed, "loss = step(net)")
+	logIdx := strings.Index(printed, `flor.log("loss", loss)`)
+	extraIdx := strings.Index(printed, "extra_old_work()")
+	if !(lossIdx < logIdx && logIdx < extraIdx) {
+		t.Fatalf("anchored placement wrong:\n%s", printed)
+	}
+	// Old-only statements survive.
+	if !strings.Contains(printed, "setup()") || !strings.Contains(printed, "teardown()") {
+		t.Fatalf("old statements lost:\n%s", printed)
+	}
+}
+
+func TestPropagateIntoNestedLoops(t *testing.T) {
+	oldSrc := `
+for d in flor.loop("document", docs) {
+    for p in flor.loop("page", pages(d)) {
+        text = read_page(d, p)
+    }
+}
+`
+	newSrc := `
+for d in flor.loop("document", docs) {
+    for p in flor.loop("page", pages(d)) {
+        text = read_page(d, p)
+        flor.log("page_text", text)
+    }
+    flor.log("doc_done", d)
+}
+`
+	merged, res := Propagate(mustParse(t, oldSrc), mustParse(t, newSrc))
+	if res.Injected != 2 {
+		t.Fatalf("injected = %d", res.Injected)
+	}
+	printed := Print(merged)
+	inner := strings.Index(printed, `flor.log("page_text", text)`)
+	outer := strings.Index(printed, `flor.log("doc_done", d)`)
+	if inner < 0 || outer < 0 || inner > outer {
+		t.Fatalf("nesting wrong:\n%s", printed)
+	}
+}
+
+func TestPropagateNewLogAtTopOfBlock(t *testing.T) {
+	oldSrc := "a = 1\nb = 2\n"
+	newSrc := "flor.log(\"start\", 1)\na = 1\nb = 2\n"
+	merged, res := Propagate(mustParse(t, oldSrc), mustParse(t, newSrc))
+	if res.Injected != 1 {
+		t.Fatalf("injected = %d", res.Injected)
+	}
+	printed := Print(merged)
+	if !strings.HasPrefix(printed, `flor.log("start", 1)`) {
+		t.Fatalf("front injection:\n%s", printed)
+	}
+}
+
+func TestPropagateIdempotent(t *testing.T) {
+	oldSrc := `
+for e in flor.loop("epoch", range(2)) {
+    loss = step(net)
+    flor.log("loss", loss)
+}
+`
+	f := mustParse(t, oldSrc)
+	merged, res := Propagate(f, mustParse(t, oldSrc))
+	if res.Injected != 0 {
+		t.Fatalf("identical versions must inject nothing, got %d", res.Injected)
+	}
+	if Print(merged) != Print(f) {
+		t.Fatal("idempotent propagation changed the file")
+	}
+}
+
+func TestPropagateClonesInjectedStatements(t *testing.T) {
+	oldSrc1 := "x = step()\n"
+	oldSrc2 := "x = step()\nother()\n"
+	newSrc := "x = step()\nflor.log(\"x\", x)\n"
+	newF := mustParse(t, newSrc)
+	m1, _ := Propagate(mustParse(t, oldSrc1), newF)
+	m2, _ := Propagate(mustParse(t, oldSrc2), newF)
+	// Mutating one injected AST must not affect the other (deep clone).
+	inj1 := m1.Stmts[1].(*ExprStmt).X.(*CallExpr)
+	inj2 := m2.Stmts[1].(*ExprStmt).X.(*CallExpr)
+	if inj1 == inj2 {
+		t.Fatal("injected statements alias each other")
+	}
+	inj1.Args[0].(*StringLit).S = "mutated"
+	if inj2.Args[0].(*StringLit).S == "mutated" {
+		t.Fatal("clone not deep")
+	}
+}
+
+func TestCountLogCallsAndLoggedNames(t *testing.T) {
+	f := mustParse(t, `
+flor.log("a", 1)
+for e in flor.loop("epoch", range(2)) {
+    flor.log("b", e)
+    if e > 0 {
+        flor.log("c", e)
+    }
+}
+`)
+	if CountLogCalls(f) != 3 {
+		t.Fatalf("count = %d", CountLogCalls(f))
+	}
+	names := LoggedNames(f)
+	for _, n := range []string{"a", "b", "c"} {
+		if !names[n] {
+			t.Fatalf("missing logged name %q", n)
+		}
+	}
+}
+
+func TestPropagatedFileExecutes(t *testing.T) {
+	// End-to-end: the merged AST actually runs and emits the new log.
+	oldSrc := `
+total = 0
+for e in flor.loop("epoch", range(3)) {
+    total = total + e
+}
+`
+	newSrc := `
+total = 0
+for e in flor.loop("epoch", range(3)) {
+    total = total + e
+    flor.log("running_total", total)
+}
+`
+	merged, _ := Propagate(mustParse(t, oldSrc), mustParse(t, newSrc))
+	h := &recordingHooks{}
+	in := NewInterp(h, nil)
+	if err := in.Run(merged); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.logs) != 3 || h.logs[2] != "running_total=3" {
+		t.Fatalf("logs: %v", h.logs)
+	}
+}

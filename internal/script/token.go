@@ -1,0 +1,237 @@
+// Package script implements Flow, the small imperative pipeline language
+// FlorDB-in-Go instruments in place of Python. Flow exists because
+// multiversion hindsight logging (§2 of the paper) requires re-executing
+// *historical versions of user code with newly injected log statements* —
+// which demands an interpreter the system controls.
+//
+// The language is deliberately small: numbers, strings, booleans, nil,
+// lists, dicts, functions; assignment, if/else, for-in, while, with;
+// arithmetic, comparison and boolean operators; and the flor.* builtins of
+// the paper's API (§2.1): flor.log, flor.arg, flor.loop, flor.checkpointing,
+// flor.iteration, flor.commit. Host functions registered by the embedding
+// program supply domain behaviour (featurizers, model training steps, ...).
+//
+// Example (the paper's Figure 5 training loop in Flow):
+//
+//	hidden = flor.arg("hidden", 500)
+//	num_epochs = flor.arg("epochs", 5)
+//	with flor.checkpointing(model=net, optimizer=opt) {
+//	    for epoch in flor.loop("epoch", range(num_epochs)) {
+//	        for data in flor.loop("step", batches) {
+//	            loss = train_step(net, opt, data)
+//	            flor.log("loss", loss)
+//	        }
+//	        acc = eval_model(net)
+//	        flor.log("acc", acc)
+//	    }
+//	}
+package script
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies Flow tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TNewline
+	TIdent
+	TKeyword
+	TNumber
+	TString
+	TSymbol
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TEOF:
+		return "EOF"
+	case TNewline:
+		return "NEWLINE"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var flowKeywords = map[string]bool{
+	"if": true, "else": true, "for": true, "in": true, "while": true,
+	"func": true, "return": true, "break": true, "continue": true,
+	"with": true, "and": true, "or": true, "not": true,
+	"true": true, "false": true, "nil": true,
+}
+
+// LexFlow tokenizes Flow source. Newlines are significant (statement
+// terminators) except inside (), [] or {} used as expression brackets;
+// block braces reset depth tracking via the parser's newline skipping.
+func LexFlow(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	parenDepth := 0 // (), [] nesting — newlines inside are insignificant
+
+	emit := func(kind TokKind, text string) {
+		toks = append(toks, Token{Kind: kind, Text: text, Line: line, Col: col})
+	}
+
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			if parenDepth == 0 {
+				if len(toks) > 0 && toks[len(toks)-1].Kind != TNewline {
+					emit(TNewline, "\\n")
+				}
+			}
+			i++
+			line++
+			col = 1
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			startLine, startCol := line, col
+			i++
+			col++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\\' && i+1 < n {
+					switch src[i+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\':
+						sb.WriteByte('\\')
+					case quote:
+						sb.WriteByte(quote)
+					default:
+						sb.WriteByte(src[i+1])
+					}
+					i += 2
+					col += 2
+					continue
+				}
+				if src[i] == quote {
+					closed = true
+					i++
+					col++
+					break
+				}
+				if src[i] == '\n' {
+					return nil, fmt.Errorf("flow: %d:%d: newline in string literal", startLine, startCol)
+				}
+				sb.WriteByte(src[i])
+				i++
+				col++
+			}
+			if !closed {
+				return nil, fmt.Errorf("flow: %d:%d: unterminated string", startLine, startCol)
+			}
+			toks = append(toks, Token{Kind: TString, Text: sb.String(), Line: startLine, Col: startCol})
+		case c >= '0' && c <= '9':
+			start := i
+			startCol := col
+			seenDot, seenExp := false, false
+			for i < n {
+				d := src[i]
+				if d >= '0' && d <= '9' {
+					i++
+					col++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9' {
+					seenDot = true
+					i++
+					col++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					if i+1 < n && (src[i+1] == '+' || src[i+1] == '-' || (src[i+1] >= '0' && src[i+1] <= '9')) {
+						seenExp = true
+						i++
+						col++
+						if src[i] == '+' || src[i] == '-' {
+							i++
+							col++
+						}
+						continue
+					}
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TNumber, Text: src[start:i], Line: line, Col: startCol})
+		case isFlowIdentStart(rune(c)):
+			start := i
+			startCol := col
+			for i < n && isFlowIdentPart(rune(src[i])) {
+				i++
+				col++
+			}
+			word := src[start:i]
+			kind := TIdent
+			if flowKeywords[word] {
+				kind = TKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Line: line, Col: startCol})
+		default:
+			startCol := col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=":
+				toks = append(toks, Token{Kind: TSymbol, Text: two, Line: line, Col: startCol})
+				i += 2
+				col += 2
+				continue
+			}
+			switch c {
+			case '(', '[':
+				parenDepth++
+			case ')', ']':
+				if parenDepth > 0 {
+					parenDepth--
+				}
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', '[', ']', '{', '}', ',', '.', ':', ';':
+				toks = append(toks, Token{Kind: TSymbol, Text: string(c), Line: line, Col: startCol})
+				i++
+				col++
+			default:
+				return nil, fmt.Errorf("flow: %d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	if len(toks) > 0 && toks[len(toks)-1].Kind != TNewline {
+		toks = append(toks, Token{Kind: TNewline, Text: "\\n", Line: line, Col: col})
+	}
+	toks = append(toks, Token{Kind: TEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isFlowIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isFlowIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,235 @@
+package script
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a Flow runtime value: nil, int64, float64, string, bool, *List,
+// *Dict, *FuncValue, or an opaque host object supplied by the embedder.
+type Value = any
+
+// List is a mutable sequence.
+type List struct {
+	Items []Value
+}
+
+// NewList builds a list from items.
+func NewList(items ...Value) *List { return &List{Items: items} }
+
+// Dict is a string-keyed mutable map preserving insertion order.
+type Dict struct {
+	keys []string
+	m    map[string]Value
+}
+
+// NewDict creates an empty dict.
+func NewDict() *Dict { return &Dict{m: make(map[string]Value)} }
+
+// Set inserts or updates a key.
+func (d *Dict) Set(k string, v Value) {
+	if _, ok := d.m[k]; !ok {
+		d.keys = append(d.keys, k)
+	}
+	d.m[k] = v
+}
+
+// Get fetches a key.
+func (d *Dict) Get(k string) (Value, bool) {
+	v, ok := d.m[k]
+	return v, ok
+}
+
+// Keys returns the keys in insertion order.
+func (d *Dict) Keys() []string { return append([]string(nil), d.keys...) }
+
+// Len returns the number of entries.
+func (d *Dict) Len() int { return len(d.m) }
+
+// FuncValue is a user-defined Flow function closed over its environment.
+type FuncValue struct {
+	Def *FuncStmt
+	Env *Env
+}
+
+// Snapshotter is implemented by host objects that participate in
+// flor.checkpointing: Snapshot serializes the object's state and Restore
+// rehydrates it. The mlsim model and optimizer implement this.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+	Restore(data []byte) error
+}
+
+// Env is a lexical scope.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv creates a scope with an optional parent.
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: make(map[string]Value), parent: parent}
+}
+
+// Get resolves a name through the scope chain.
+func (e *Env) Get(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Set assigns a name: if it exists in an enclosing scope the binding there
+// is updated (so loop bodies can mutate accumulators); otherwise the name is
+// defined in the current scope.
+func (e *Env) Set(name string, v Value) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+	}
+	e.vars[name] = v
+}
+
+// Define always binds in the current scope (used for parameters and loop
+// variables).
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// Names lists the variables bound in this scope only, sorted.
+func (e *Env) Names() []string {
+	out := make([]string, 0, len(e.vars))
+	for k := range e.vars {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Truthy implements Flow truthiness: nil, false, 0, 0.0, "", empty list and
+// empty dict are false; everything else is true.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	case *List:
+		return len(x.Items) > 0
+	case *Dict:
+		return x.Len() > 0
+	default:
+		return true
+	}
+}
+
+// ValueEqual implements Flow's == with deep equality on lists and dicts and
+// numeric cross-type comparison.
+func ValueEqual(a, b Value) bool {
+	if af, aok := toFloat(a); aok {
+		if bf, bok := toFloat(b); bok {
+			return af == bf
+		}
+		return false
+	}
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case *List:
+		y, ok := b.(*List)
+		if !ok || len(x.Items) != len(y.Items) {
+			return false
+		}
+		for i := range x.Items {
+			if !ValueEqual(x.Items[i], y.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case *Dict:
+		y, ok := b.(*Dict)
+		if !ok || x.Len() != y.Len() {
+			return false
+		}
+		for _, k := range x.keys {
+			bv, ok := y.Get(k)
+			if !ok || !ValueEqual(x.m[k], bv) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// Repr renders a value for printing and logging.
+func Repr(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case *List:
+		parts := make([]string, len(x.Items))
+		for i, it := range x.Items {
+			parts[i] = reprQuoted(it)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *Dict:
+		parts := make([]string, 0, x.Len())
+		for _, k := range x.keys {
+			parts = append(parts, strconv.Quote(k)+": "+reprQuoted(x.m[k]))
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *FuncValue:
+		return "<func " + x.Def.Name + ">"
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprintf("<%T>", v)
+	}
+}
+
+func reprQuoted(v Value) string {
+	if s, ok := v.(string); ok {
+		return strconv.Quote(s)
+	}
+	return Repr(v)
+}

@@ -1,0 +1,495 @@
+package sqlparse
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"flordb/internal/relation"
+)
+
+// binder resolves column references against a schema. Qualified references
+// ("t.col") try the qualified name first, then the bare name (the relation
+// kernel disambiguates join collisions by prefixing with the qualifier).
+type binder struct {
+	schema *relation.Schema
+}
+
+func (b binder) resolve(c *ColumnRef) (int, error) {
+	if c.Table != "" {
+		if i := b.schema.Index(c.Table + "." + c.Name); i >= 0 {
+			return i, nil
+		}
+	}
+	if i := b.schema.Index(c.Name); i >= 0 {
+		return i, nil
+	}
+	return -1, fmt.Errorf("sql: unknown column %q (have %v)", c.SQL(), b.schema.Names())
+}
+
+// compile turns an expression into an evaluator closure over rows of the
+// bound schema. Aggregate calls are rejected here; the planner rewrites them
+// before compilation.
+func (b binder) compile(e Expr) (func(relation.Row) (relation.Value, error), error) {
+	switch x := e.(type) {
+	case *Literal:
+		v := x.Value
+		return func(relation.Row) (relation.Value, error) { return v, nil }, nil
+	case *ColumnRef:
+		i, err := b.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		return func(r relation.Row) (relation.Value, error) { return r[i], nil }, nil
+	case *UnaryExpr:
+		inner, err := b.compile(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			return func(r relation.Row) (relation.Value, error) {
+				v, err := inner(r)
+				if err != nil {
+					return relation.Null(), err
+				}
+				if v.IsNull() {
+					return relation.Null(), nil
+				}
+				bv, err := truthy(v)
+				if err != nil {
+					return relation.Null(), err
+				}
+				return relation.Bool(!bv), nil
+			}, nil
+		case "-":
+			return func(r relation.Row) (relation.Value, error) {
+				v, err := inner(r)
+				if err != nil || v.IsNull() {
+					return relation.Null(), err
+				}
+				switch v.Type() {
+				case relation.TInt:
+					return relation.Int(-v.AsInt()), nil
+				case relation.TFloat:
+					return relation.Float(-v.AsFloat()), nil
+				}
+				return relation.Null(), fmt.Errorf("sql: unary minus on %s", v.Type())
+			}, nil
+		}
+		return nil, fmt.Errorf("sql: unknown unary operator %q", x.Op)
+	case *IsNullExpr:
+		inner, err := b.compile(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		negate := x.Negate
+		return func(r relation.Row) (relation.Value, error) {
+			v, err := inner(r)
+			if err != nil {
+				return relation.Null(), err
+			}
+			return relation.Bool(v.IsNull() != negate), nil
+		}, nil
+	case *InExpr:
+		inner, err := b.compile(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]func(relation.Row) (relation.Value, error), len(x.List))
+		for i, le := range x.List {
+			f, err := b.compile(le)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = f
+		}
+		negate := x.Negate
+		return func(r relation.Row) (relation.Value, error) {
+			v, err := inner(r)
+			if err != nil {
+				return relation.Null(), err
+			}
+			if v.IsNull() {
+				return relation.Null(), nil
+			}
+			for _, f := range items {
+				iv, err := f(r)
+				if err != nil {
+					return relation.Null(), err
+				}
+				if relation.Equal(v, iv) {
+					return relation.Bool(!negate), nil
+				}
+			}
+			return relation.Bool(negate), nil
+		}, nil
+	case *BetweenExpr:
+		inner, err := b.compile(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.compile(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.compile(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		negate := x.Negate
+		return func(r relation.Row) (relation.Value, error) {
+			v, err := inner(r)
+			if err != nil || v.IsNull() {
+				return relation.Null(), err
+			}
+			lv, err := lo(r)
+			if err != nil || lv.IsNull() {
+				return relation.Null(), err
+			}
+			hv, err := hi(r)
+			if err != nil || hv.IsNull() {
+				return relation.Null(), err
+			}
+			in := relation.Compare(v, lv) >= 0 && relation.Compare(v, hv) <= 0
+			return relation.Bool(in != negate), nil
+		}, nil
+	case *BinaryExpr:
+		return b.compileBinary(x)
+	case *FuncCall:
+		if x.IsAggregate() {
+			return nil, fmt.Errorf("sql: aggregate %s not allowed here", x.Name)
+		}
+		return b.compileScalarFunc(x)
+	case *Star:
+		return nil, fmt.Errorf("sql: '*' not allowed in this position")
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+func (b binder) compileBinary(x *BinaryExpr) (func(relation.Row) (relation.Value, error), error) {
+	left, err := b.compile(x.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.compile(x.Right)
+	if err != nil {
+		return nil, err
+	}
+	op := x.Op
+	switch op {
+	case "AND", "OR":
+		return func(r relation.Row) (relation.Value, error) {
+			lv, err := left(r)
+			if err != nil {
+				return relation.Null(), err
+			}
+			// Three-valued logic with short circuit.
+			var lb, lNull bool
+			if lv.IsNull() {
+				lNull = true
+			} else if lb, err = truthy(lv); err != nil {
+				return relation.Null(), err
+			}
+			if !lNull {
+				if op == "AND" && !lb {
+					return relation.Bool(false), nil
+				}
+				if op == "OR" && lb {
+					return relation.Bool(true), nil
+				}
+			}
+			rv, err := right(r)
+			if err != nil {
+				return relation.Null(), err
+			}
+			if rv.IsNull() {
+				return relation.Null(), nil
+			}
+			rb, err := truthy(rv)
+			if err != nil {
+				return relation.Null(), err
+			}
+			if lNull {
+				if op == "AND" && !rb {
+					return relation.Bool(false), nil
+				}
+				if op == "OR" && rb {
+					return relation.Bool(true), nil
+				}
+				return relation.Null(), nil
+			}
+			if op == "AND" {
+				return relation.Bool(lb && rb), nil
+			}
+			return relation.Bool(lb || rb), nil
+		}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		return func(r relation.Row) (relation.Value, error) {
+			lv, err := left(r)
+			if err != nil {
+				return relation.Null(), err
+			}
+			rv, err := right(r)
+			if err != nil {
+				return relation.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return relation.Null(), nil
+			}
+			c := relation.Compare(lv, rv)
+			var out bool
+			switch op {
+			case "=":
+				out = c == 0
+			case "!=":
+				out = c != 0
+			case "<":
+				out = c < 0
+			case "<=":
+				out = c <= 0
+			case ">":
+				out = c > 0
+			case ">=":
+				out = c >= 0
+			}
+			return relation.Bool(out), nil
+		}, nil
+	case "LIKE":
+		return func(r relation.Row) (relation.Value, error) {
+			lv, err := left(r)
+			if err != nil {
+				return relation.Null(), err
+			}
+			rv, err := right(r)
+			if err != nil {
+				return relation.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return relation.Null(), nil
+			}
+			if lv.Type() != relation.TText || rv.Type() != relation.TText {
+				return relation.Null(), fmt.Errorf("sql: LIKE requires text operands")
+			}
+			re, err := likeRegexp(rv.AsText())
+			if err != nil {
+				return relation.Null(), err
+			}
+			return relation.Bool(re.MatchString(lv.AsText())), nil
+		}, nil
+	case "+", "-", "*", "/", "%":
+		return func(r relation.Row) (relation.Value, error) {
+			lv, err := left(r)
+			if err != nil {
+				return relation.Null(), err
+			}
+			rv, err := right(r)
+			if err != nil {
+				return relation.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return relation.Null(), nil
+			}
+			if op == "+" && lv.Type() == relation.TText && rv.Type() == relation.TText {
+				return relation.Text(lv.AsText() + rv.AsText()), nil
+			}
+			if !lv.IsNumeric() || !rv.IsNumeric() {
+				return relation.Null(), fmt.Errorf("sql: %s on non-numeric operands %s, %s", op, lv.Type(), rv.Type())
+			}
+			if lv.Type() == relation.TInt && rv.Type() == relation.TInt && op != "/" {
+				a, bb := lv.AsInt(), rv.AsInt()
+				switch op {
+				case "+":
+					return relation.Int(a + bb), nil
+				case "-":
+					return relation.Int(a - bb), nil
+				case "*":
+					return relation.Int(a * bb), nil
+				case "%":
+					if bb == 0 {
+						return relation.Null(), fmt.Errorf("sql: modulo by zero")
+					}
+					return relation.Int(a % bb), nil
+				}
+			}
+			a, bb := lv.AsFloat(), rv.AsFloat()
+			switch op {
+			case "+":
+				return relation.Float(a + bb), nil
+			case "-":
+				return relation.Float(a - bb), nil
+			case "*":
+				return relation.Float(a * bb), nil
+			case "/":
+				if bb == 0 {
+					return relation.Null(), fmt.Errorf("sql: division by zero")
+				}
+				return relation.Float(a / bb), nil
+			case "%":
+				return relation.Null(), fmt.Errorf("sql: modulo requires integers")
+			}
+			return relation.Null(), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("sql: unknown operator %q", op)
+}
+
+func (b binder) compileScalarFunc(x *FuncCall) (func(relation.Row) (relation.Value, error), error) {
+	args := make([]func(relation.Row) (relation.Value, error), len(x.Args))
+	for i, a := range x.Args {
+		f, err := b.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = f
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sql: %s expects %d argument(s), got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "lower", "upper", "length", "trim":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		name := x.Name
+		return func(r relation.Row) (relation.Value, error) {
+			v, err := args[0](r)
+			if err != nil || v.IsNull() {
+				return relation.Null(), err
+			}
+			s, err := relation.Coerce(v, relation.TText)
+			if err != nil {
+				return relation.Null(), err
+			}
+			switch name {
+			case "lower":
+				return relation.Text(strings.ToLower(s.AsText())), nil
+			case "upper":
+				return relation.Text(strings.ToUpper(s.AsText())), nil
+			case "length":
+				return relation.Int(int64(len(s.AsText()))), nil
+			default:
+				return relation.Text(strings.TrimSpace(s.AsText())), nil
+			}
+		}, nil
+	case "coalesce":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("sql: coalesce needs at least one argument")
+		}
+		return func(r relation.Row) (relation.Value, error) {
+			for _, f := range args {
+				v, err := f(r)
+				if err != nil {
+					return relation.Null(), err
+				}
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return relation.Null(), nil
+		}, nil
+	case "abs":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return func(r relation.Row) (relation.Value, error) {
+			v, err := args[0](r)
+			if err != nil || v.IsNull() {
+				return relation.Null(), err
+			}
+			switch v.Type() {
+			case relation.TInt:
+				if v.AsInt() < 0 {
+					return relation.Int(-v.AsInt()), nil
+				}
+				return v, nil
+			case relation.TFloat:
+				if v.AsFloat() < 0 {
+					return relation.Float(-v.AsFloat()), nil
+				}
+				return v, nil
+			}
+			return relation.Null(), fmt.Errorf("sql: abs on %s", v.Type())
+		}, nil
+	case "cast_int":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return func(r relation.Row) (relation.Value, error) {
+			v, err := args[0](r)
+			if err != nil || v.IsNull() {
+				return relation.Null(), err
+			}
+			return relation.Coerce(v, relation.TInt)
+		}, nil
+	case "cast_float":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return func(r relation.Row) (relation.Value, error) {
+			v, err := args[0](r)
+			if err != nil || v.IsNull() {
+				return relation.Null(), err
+			}
+			return relation.Coerce(v, relation.TFloat)
+		}, nil
+	case "cast_text":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return func(r relation.Row) (relation.Value, error) {
+			v, err := args[0](r)
+			if err != nil || v.IsNull() {
+				return relation.Null(), err
+			}
+			return relation.Coerce(v, relation.TText)
+		}, nil
+	}
+	return nil, fmt.Errorf("sql: unknown function %q", x.Name)
+}
+
+func truthy(v relation.Value) (bool, error) {
+	switch v.Type() {
+	case relation.TBool:
+		return v.AsBool(), nil
+	case relation.TInt:
+		return v.AsInt() != 0, nil
+	case relation.TFloat:
+		return v.AsFloat() != 0, nil
+	default:
+		return false, fmt.Errorf("sql: %s is not a boolean", v.Type())
+	}
+}
+
+var likeCache sync.Map // pattern -> *regexp.Regexp
+
+// likeRegexp compiles a SQL LIKE pattern (% and _) into a cached regexp.
+func likeRegexp(pattern string) (*regexp.Regexp, error) {
+	if re, ok := likeCache.Load(pattern); ok {
+		return re.(*regexp.Regexp), nil
+	}
+	var sb strings.Builder
+	sb.WriteString("(?s)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			sb.WriteString(".*")
+		case '_':
+			sb.WriteString(".")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteString("$")
+	re, err := regexp.Compile(sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("sql: bad LIKE pattern %q: %w", pattern, err)
+	}
+	likeCache.Store(pattern, re)
+	return re, nil
+}

@@ -1,0 +1,611 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"flordb/internal/relation"
+)
+
+// Result is a fully materialized query result.
+type Result struct {
+	Columns []string
+	Rows    []relation.Row
+}
+
+// Run parses and executes a SQL query against the database.
+func Run(db *relation.Database, query string) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(db, stmt)
+}
+
+// Execute runs a parsed statement against the database.
+func Execute(db *relation.Database, stmt *SelectStmt) (*Result, error) {
+	in, err := buildInput(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+
+	if stmt.Where != nil {
+		in, err = applyFilter(in, stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
+		return executeAggregate(in, stmt)
+	}
+	if stmt.Having != nil {
+		return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+	}
+	return executeSimple(in, stmt)
+}
+
+// buildInput constructs the FROM/JOIN pipeline.
+func buildInput(db *relation.Database, stmt *SelectStmt) (relation.Iterator, error) {
+	it, err := sourceFor(db, stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range stmt.Joins {
+		right, err := sourceFor(db, j.Table)
+		if err != nil {
+			return nil, err
+		}
+		leftCols, rightCols, residual, err := splitJoinOn(j.On, it.Schema(), right.Schema(), j.Table.Binding())
+		if err != nil {
+			return nil, err
+		}
+		joined, err := relation.NewHashJoin(it, right, leftCols, rightCols, j.Table.Binding())
+		if err != nil {
+			return nil, err
+		}
+		it = joined
+		if residual != nil {
+			it, err = applyFilter(it, residual)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return it, nil
+}
+
+// sourceFor opens a table and, when aliased, renames its columns to carry
+// the alias qualifier so references like "t.col" resolve after joins.
+func sourceFor(db *relation.Database, tr TableRef) (relation.Iterator, error) {
+	it, err := db.Source(tr.Name)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// splitJoinOn decomposes an ON clause that is a conjunction of equality
+// predicates between a left column and a right column. Predicates that
+// aren't cross-side equalities become a residual filter applied after the
+// hash join.
+func splitJoinOn(on Expr, left, right *relation.Schema, rightBinding string) (leftCols, rightCols []string, residual Expr, err error) {
+	conjuncts := flattenAnd(on)
+	for _, c := range conjuncts {
+		be, ok := c.(*BinaryExpr)
+		if ok && be.Op == "=" {
+			lref, lok := be.Left.(*ColumnRef)
+			rref, rok := be.Right.(*ColumnRef)
+			if lok && rok {
+				lcol, lSide := resolveSide(lref, left, right, rightBinding)
+				rcol, rSide := resolveSide(rref, left, right, rightBinding)
+				if lSide == 'L' && rSide == 'R' {
+					leftCols = append(leftCols, lcol)
+					rightCols = append(rightCols, rcol)
+					continue
+				}
+				if lSide == 'R' && rSide == 'L' {
+					leftCols = append(leftCols, rcol)
+					rightCols = append(rightCols, lcol)
+					continue
+				}
+			}
+		}
+		if residual == nil {
+			residual = c
+		} else {
+			residual = &BinaryExpr{Op: "AND", Left: residual, Right: c}
+		}
+	}
+	if len(leftCols) == 0 {
+		return nil, nil, nil, fmt.Errorf("sql: JOIN ... ON must contain at least one cross-table equality")
+	}
+	return leftCols, rightCols, residual, nil
+}
+
+func resolveSide(c *ColumnRef, left, right *relation.Schema, rightBinding string) (string, byte) {
+	if c.Table != "" && strings.EqualFold(c.Table, rightBinding) {
+		if right.Index(c.Name) >= 0 {
+			return c.Name, 'R'
+		}
+	}
+	if left.Index(c.Name) >= 0 {
+		return c.Name, 'L'
+	}
+	if c.Table != "" && left.Index(c.Table+"."+c.Name) >= 0 {
+		return c.Table + "." + c.Name, 'L'
+	}
+	if right.Index(c.Name) >= 0 {
+		return c.Name, 'R'
+	}
+	return c.Name, '?'
+}
+
+func flattenAnd(e Expr) []Expr {
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
+		return append(flattenAnd(be.Left), flattenAnd(be.Right)...)
+	}
+	return []Expr{e}
+}
+
+func applyFilter(in relation.Iterator, pred Expr) (relation.Iterator, error) {
+	b := binder{schema: in.Schema()}
+	f, err := b.compile(pred)
+	if err != nil {
+		return nil, err
+	}
+	var evalErr error
+	out := relation.NewFilter(in, func(r relation.Row) bool {
+		if evalErr != nil {
+			return false
+		}
+		v, err := f(r)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if v.IsNull() {
+			return false
+		}
+		tb, err := truthy(v)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return tb
+	})
+	return &errIterator{Iterator: out, err: &evalErr}, nil
+}
+
+// errIterator surfaces deferred evaluation errors by panicking at Collect
+// time would be rude; instead it truncates the stream and the executor
+// checks the error afterward via the shared pointer.
+type errIterator struct {
+	relation.Iterator
+	err *error
+}
+
+// executeSimple handles the non-aggregate path.
+func executeSimple(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
+	b := binder{schema: in.Schema()}
+
+	// Output expressions.
+	var exprs []relation.ProjExpr
+	var visible []string
+	if len(stmt.Items) == 0 { // SELECT *
+		for i := 0; i < in.Schema().Len(); i++ {
+			col := in.Schema().Col(i)
+			pos := i
+			exprs = append(exprs, relation.ProjExpr{Name: col.Name, Type: col.Type, Eval: func(r relation.Row) relation.Value { return r[pos] }})
+			visible = append(visible, col.Name)
+		}
+	} else {
+		for _, item := range stmt.Items {
+			f, err := b.compile(item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			name := item.OutputName()
+			typ := inferType(item.Expr, in.Schema())
+			var capturedErr error
+			ff := f
+			exprs = append(exprs, relation.ProjExpr{Name: name, Type: typ, Eval: func(r relation.Row) relation.Value {
+				v, err := ff(r)
+				if err != nil && capturedErr == nil {
+					capturedErr = err
+				}
+				return v
+			}})
+			visible = append(visible, name)
+		}
+	}
+
+	// Hidden sort columns: ORDER BY expressions not present among visible names.
+	type hidden struct {
+		name string
+		item OrderItem
+	}
+	var hiddens []hidden
+	outNames := map[string]bool{}
+	for _, v := range visible {
+		outNames[strings.ToLower(v)] = true
+	}
+	sortKeys := make([]relation.SortKey, 0, len(stmt.OrderBy))
+	for i, oi := range stmt.OrderBy {
+		if cr, ok := oi.Expr.(*ColumnRef); ok && cr.Table == "" && outNames[strings.ToLower(cr.Name)] {
+			sortKeys = append(sortKeys, relation.SortKey{Col: cr.Name, Desc: oi.Desc})
+			continue
+		}
+		name := fmt.Sprintf("__sort%d", i)
+		f, err := b.compile(oi.Expr)
+		if err != nil {
+			return nil, err
+		}
+		ff := f
+		exprs = append(exprs, relation.ProjExpr{Name: name, Type: inferType(oi.Expr, in.Schema()), Eval: func(r relation.Row) relation.Value {
+			v, _ := ff(r)
+			return v
+		}})
+		hiddens = append(hiddens, hidden{name: name, item: oi})
+		sortKeys = append(sortKeys, relation.SortKey{Col: name, Desc: oi.Desc})
+	}
+	if stmt.Distinct && len(hiddens) > 0 {
+		return nil, fmt.Errorf("sql: ORDER BY with DISTINCT must reference selected columns")
+	}
+
+	proj, err := relation.NewProject(in, exprs)
+	if err != nil {
+		return nil, err
+	}
+	var it relation.Iterator = proj
+	if stmt.Distinct {
+		it = relation.NewDistinct(it)
+	}
+	if len(sortKeys) > 0 {
+		it, err = relation.NewSort(it, sortKeys)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Limit >= 0 || stmt.Offset > 0 {
+		it = relation.NewLimit(it, stmt.Limit, stmt.Offset)
+	}
+	rows := relation.Collect(it)
+	if ei, ok := in.(*errIterator); ok && *ei.err != nil {
+		return nil, *ei.err
+	}
+	// Strip hidden columns.
+	if len(hiddens) > 0 {
+		for i, r := range rows {
+			rows[i] = r[:len(visible)]
+		}
+	}
+	return &Result{Columns: visible, Rows: rows}, nil
+}
+
+// executeAggregate handles GROUP BY / aggregate queries by (1) pre-projecting
+// group keys and aggregate arguments, (2) hash aggregation, (3) rewriting the
+// select list, HAVING and ORDER BY to reference the aggregated schema.
+func executeAggregate(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
+	b := binder{schema: in.Schema()}
+
+	// Collect aggregate calls from select items, HAVING and ORDER BY.
+	rw := &aggRewriter{bySQL: map[string]string{}}
+	for _, it := range stmt.Items {
+		rw.collect(it.Expr)
+	}
+	if stmt.Having != nil {
+		rw.collect(stmt.Having)
+	}
+	for _, oi := range stmt.OrderBy {
+		rw.collect(oi.Expr)
+	}
+
+	// Pre-projection: group keys first, then aggregate args.
+	var pre []relation.ProjExpr
+	groupCols := make([]string, len(stmt.GroupBy))
+	groupSQL := make(map[string]string, len(stmt.GroupBy))
+	for i, ge := range stmt.GroupBy {
+		name := fmt.Sprintf("__g%d", i)
+		if cr, ok := ge.(*ColumnRef); ok {
+			name = cr.Name
+		}
+		f, err := b.compile(ge)
+		if err != nil {
+			return nil, err
+		}
+		ff := f
+		pre = append(pre, relation.ProjExpr{Name: name, Type: inferType(ge, in.Schema()), Eval: func(r relation.Row) relation.Value {
+			v, _ := ff(r)
+			return v
+		}})
+		groupCols[i] = name
+		groupSQL[ge.SQL()] = name
+	}
+	var specs []relation.AggSpec
+	for i, call := range rw.calls {
+		outName := fmt.Sprintf("__agg%d", i)
+		rw.bySQL[call.SQL()] = outName
+		spec := relation.AggSpec{As: outName}
+		switch call.Name {
+		case "count":
+			if len(call.Args) == 1 {
+				if _, isStar := call.Args[0].(*Star); isStar {
+					spec.Kind = relation.AggCountStar
+					specs = append(specs, spec)
+					continue
+				}
+			}
+			spec.Kind = relation.AggCount
+		case "sum":
+			spec.Kind = relation.AggSum
+		case "avg":
+			spec.Kind = relation.AggAvg
+		case "min":
+			spec.Kind = relation.AggMin
+		case "max":
+			spec.Kind = relation.AggMax
+		}
+		if len(call.Args) != 1 {
+			return nil, fmt.Errorf("sql: %s expects one argument", call.Name)
+		}
+		argName := fmt.Sprintf("__arg%d", i)
+		f, err := b.compile(call.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		ff := f
+		pre = append(pre, relation.ProjExpr{Name: argName, Type: inferType(call.Args[0], in.Schema()), Eval: func(r relation.Row) relation.Value {
+			v, _ := ff(r)
+			return v
+		}})
+		spec.Col = argName
+		specs = append(specs, spec)
+	}
+
+	proj, err := relation.NewProject(in, pre)
+	if err != nil {
+		return nil, err
+	}
+	grouped, err := relation.NewGroup(proj, groupCols, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Post-aggregation binder over the grouped schema.
+	gb := binder{schema: grouped.Schema()}
+	var out relation.Iterator = grouped
+	if stmt.Having != nil {
+		hexpr := rw.rewrite(stmt.Having, groupSQL)
+		out, err = applyHavingFilter(out, gb, hexpr)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if len(stmt.Items) == 0 {
+		return nil, fmt.Errorf("sql: SELECT * is not valid with GROUP BY")
+	}
+	var exprs []relation.ProjExpr
+	var visible []string
+	for _, item := range stmt.Items {
+		re := rw.rewrite(item.Expr, groupSQL)
+		f, err := gb.compile(re)
+		if err != nil {
+			return nil, fmt.Errorf("%w (non-aggregated column in aggregate query?)", err)
+		}
+		ff := f
+		name := item.OutputName()
+		exprs = append(exprs, relation.ProjExpr{Name: name, Type: inferType(re, grouped.Schema()), Eval: func(r relation.Row) relation.Value {
+			v, _ := ff(r)
+			return v
+		}})
+		visible = append(visible, name)
+	}
+	sortKeys := make([]relation.SortKey, 0, len(stmt.OrderBy))
+	var nHidden int
+	outNames := map[string]bool{}
+	for _, v := range visible {
+		outNames[strings.ToLower(v)] = true
+	}
+	for i, oi := range stmt.OrderBy {
+		if cr, ok := oi.Expr.(*ColumnRef); ok && cr.Table == "" && outNames[strings.ToLower(cr.Name)] {
+			sortKeys = append(sortKeys, relation.SortKey{Col: cr.Name, Desc: oi.Desc})
+			continue
+		}
+		re := rw.rewrite(oi.Expr, groupSQL)
+		f, err := gb.compile(re)
+		if err != nil {
+			return nil, err
+		}
+		ff := f
+		name := fmt.Sprintf("__sort%d", i)
+		exprs = append(exprs, relation.ProjExpr{Name: name, Type: inferType(re, grouped.Schema()), Eval: func(r relation.Row) relation.Value {
+			v, _ := ff(r)
+			return v
+		}})
+		nHidden++
+		sortKeys = append(sortKeys, relation.SortKey{Col: name, Desc: oi.Desc})
+	}
+
+	post, err := relation.NewProject(out, exprs)
+	if err != nil {
+		return nil, err
+	}
+	var final relation.Iterator = post
+	if stmt.Distinct {
+		if nHidden > 0 {
+			return nil, fmt.Errorf("sql: ORDER BY with DISTINCT must reference selected columns")
+		}
+		final = relation.NewDistinct(final)
+	}
+	if len(sortKeys) > 0 {
+		final, err = relation.NewSort(final, sortKeys)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Limit >= 0 || stmt.Offset > 0 {
+		final = relation.NewLimit(final, stmt.Limit, stmt.Offset)
+	}
+	rows := relation.Collect(final)
+	if nHidden > 0 {
+		for i, r := range rows {
+			rows[i] = r[:len(visible)]
+		}
+	}
+	return &Result{Columns: visible, Rows: rows}, nil
+}
+
+func applyHavingFilter(in relation.Iterator, b binder, pred Expr) (relation.Iterator, error) {
+	f, err := b.compile(pred)
+	if err != nil {
+		return nil, err
+	}
+	return relation.NewFilter(in, func(r relation.Row) bool {
+		v, err := f(r)
+		if err != nil || v.IsNull() {
+			return false
+		}
+		tb, err := truthy(v)
+		return err == nil && tb
+	}), nil
+}
+
+// aggRewriter collects aggregate FuncCalls and rewrites expressions to
+// reference their output columns.
+type aggRewriter struct {
+	calls []*FuncCall
+	bySQL map[string]string // agg SQL -> output column
+}
+
+func (rw *aggRewriter) collect(e Expr) {
+	switch x := e.(type) {
+	case *FuncCall:
+		if x.IsAggregate() {
+			sql := x.SQL()
+			for _, c := range rw.calls {
+				if c.SQL() == sql {
+					return
+				}
+			}
+			rw.calls = append(rw.calls, x)
+			return
+		}
+		for _, a := range x.Args {
+			rw.collect(a)
+		}
+	case *BinaryExpr:
+		rw.collect(x.Left)
+		rw.collect(x.Right)
+	case *UnaryExpr:
+		rw.collect(x.Expr)
+	case *IsNullExpr:
+		rw.collect(x.Expr)
+	case *InExpr:
+		rw.collect(x.Expr)
+		for _, a := range x.List {
+			rw.collect(a)
+		}
+	case *BetweenExpr:
+		rw.collect(x.Expr)
+		rw.collect(x.Lo)
+		rw.collect(x.Hi)
+	}
+}
+
+// rewrite replaces aggregate calls and group-by expressions with column refs
+// into the aggregated schema.
+func (rw *aggRewriter) rewrite(e Expr, groupSQL map[string]string) Expr {
+	if name, ok := groupSQL[e.SQL()]; ok {
+		return &ColumnRef{Name: name}
+	}
+	switch x := e.(type) {
+	case *FuncCall:
+		if x.IsAggregate() {
+			if name, ok := rw.bySQL[x.SQL()]; ok {
+				return &ColumnRef{Name: name}
+			}
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rw.rewrite(a, groupSQL)
+		}
+		return &FuncCall{Name: x.Name, Args: args}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, Left: rw.rewrite(x.Left, groupSQL), Right: rw.rewrite(x.Right, groupSQL)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, Expr: rw.rewrite(x.Expr, groupSQL)}
+	case *IsNullExpr:
+		return &IsNullExpr{Expr: rw.rewrite(x.Expr, groupSQL), Negate: x.Negate}
+	case *InExpr:
+		list := make([]Expr, len(x.List))
+		for i, a := range x.List {
+			list[i] = rw.rewrite(a, groupSQL)
+		}
+		return &InExpr{Expr: rw.rewrite(x.Expr, groupSQL), List: list, Negate: x.Negate}
+	case *BetweenExpr:
+		return &BetweenExpr{Expr: rw.rewrite(x.Expr, groupSQL), Lo: rw.rewrite(x.Lo, groupSQL), Hi: rw.rewrite(x.Hi, groupSQL), Negate: x.Negate}
+	}
+	return e
+}
+
+// inferType gives a best-effort output type for projection schemas. The
+// relation kernel treats types dynamically, so TText as a fallback is safe.
+func inferType(e Expr, s *relation.Schema) relation.Type {
+	switch x := e.(type) {
+	case *Literal:
+		if x.Value.IsNull() {
+			return relation.TText
+		}
+		return x.Value.Type()
+	case *ColumnRef:
+		if x.Table != "" {
+			if i := s.Index(x.Table + "." + x.Name); i >= 0 {
+				return s.Col(i).Type
+			}
+		}
+		if i := s.Index(x.Name); i >= 0 {
+			return s.Col(i).Type
+		}
+		return relation.TText
+	case *BinaryExpr:
+		switch x.Op {
+		case "AND", "OR", "=", "!=", "<", "<=", ">", ">=", "LIKE":
+			return relation.TBool
+		}
+		lt := inferType(x.Left, s)
+		rt := inferType(x.Right, s)
+		if x.Op == "/" || lt == relation.TFloat || rt == relation.TFloat {
+			return relation.TFloat
+		}
+		if lt == relation.TText && rt == relation.TText {
+			return relation.TText
+		}
+		return relation.TInt
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return relation.TBool
+		}
+		return inferType(x.Expr, s)
+	case *IsNullExpr, *InExpr, *BetweenExpr:
+		return relation.TBool
+	case *FuncCall:
+		switch x.Name {
+		case "count":
+			return relation.TInt
+		case "sum", "avg", "abs", "cast_float":
+			return relation.TFloat
+		case "length", "cast_int":
+			return relation.TInt
+		case "lower", "upper", "trim", "cast_text":
+			return relation.TText
+		case "min", "max", "coalesce":
+			if len(x.Args) > 0 {
+				return inferType(x.Args[0], s)
+			}
+		}
+		return relation.TText
+	}
+	return relation.TText
+}

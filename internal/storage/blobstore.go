@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// BlobStore is a content-addressed file store used for checkpoint blobs
+// (the durable half of obj_store) and shared with the vcs object store
+// layout: blobs live at <root>/<aa>/<rest-of-hash>.
+type BlobStore struct {
+	mu   sync.Mutex
+	root string
+}
+
+// NewBlobStore creates the store rooted at dir.
+func NewBlobStore(dir string) (*BlobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: blobstore mkdir: %w", err)
+	}
+	return &BlobStore{root: dir}, nil
+}
+
+// Root returns the store's directory.
+func (b *BlobStore) Root() string { return b.root }
+
+// HashKey computes the content address for a payload.
+func HashKey(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Put writes the payload and returns its content address. Writing is
+// idempotent: existing blobs are left untouched.
+func (b *BlobStore) Put(data []byte) (string, error) {
+	key := HashKey(data)
+	path := b.pathFor(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, err := os.Stat(path); err == nil {
+		return key, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", fmt.Errorf("storage: blob mkdir: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("storage: blob write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("storage: blob rename: %w", err)
+	}
+	return key, nil
+}
+
+// Get reads the payload at the given content address.
+func (b *BlobStore) Get(key string) ([]byte, error) {
+	data, err := os.ReadFile(b.pathFor(key))
+	if err != nil {
+		return nil, fmt.Errorf("storage: blob %s: %w", key, err)
+	}
+	if HashKey(data) != key {
+		return nil, fmt.Errorf("storage: blob %s failed integrity check", key)
+	}
+	return data, nil
+}
+
+// Has reports whether the store holds the given key.
+func (b *BlobStore) Has(key string) bool {
+	_, err := os.Stat(b.pathFor(key))
+	return err == nil
+}
+
+func (b *BlobStore) pathFor(key string) string {
+	if len(key) < 3 {
+		return filepath.Join(b.root, "short", key)
+	}
+	return filepath.Join(b.root, key[:2], key[2:])
+}

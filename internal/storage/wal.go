@@ -1,0 +1,217 @@
+// Package storage provides durability for FlorDB's metadata: an append-only
+// write-ahead log of JSONL records with group commit, plus recovery that
+// replays the log into the relational tables at startup.
+//
+// The paper's flor.commit() is realized here as a WAL flush boundary: a
+// commit record is appended and the file is synced, making everything up to
+// the commit visible to future sessions (§2.1 "application-level transaction
+// commit marker supporting visibility control").
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"flordb/internal/record"
+)
+
+// WAL is an append-only record log. Appends are buffered; Flush writes and
+// syncs. Safe for concurrent use.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	path    string
+	pending int  // records buffered since last flush
+	sync    bool // fsync on flush
+}
+
+// Options configures WAL behavior.
+type Options struct {
+	// NoSync disables fsync on flush; used by benchmarks to isolate
+	// serialization cost from disk cost.
+	NoSync bool
+}
+
+// OpenWAL opens (creating if needed) the WAL at path for appending.
+func OpenWAL(path string, opts Options) (*WAL, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	return &WAL{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, sync: !opts.NoSync}, nil
+}
+
+// Path returns the WAL file path.
+func (w *WAL) Path() string { return w.path }
+
+// Append buffers one record. It does not flush; call Flush (or append a
+// commit record via AppendCommit) to make the record durable.
+func (w *WAL) Append(rec any) error {
+	line, err := record.Encode(rec)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(line); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	w.pending++
+	return nil
+}
+
+// Flush writes buffered records to the OS and, unless NoSync was set, fsyncs.
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *WAL) flushLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flush: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("storage: sync: %w", err)
+		}
+	}
+	w.pending = 0
+	return nil
+}
+
+// AppendCommit appends a commit record and flushes — the durable point.
+func (w *WAL) AppendCommit(rec *record.CommitRecord) error {
+	if err := w.Append(rec); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Pending reports how many records are buffered but not yet flushed.
+func (w *WAL) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pending
+}
+
+// Close flushes and closes the file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// Replay streams every decodable record in the WAL at path to fn, in order.
+// A torn final line (crash mid-write) is tolerated and skipped; corruption
+// in the middle of the log is an error. Commit records delimit transactions:
+// when strictCommits is true, records after the last commit are not
+// delivered (uncommitted tail is invisible), matching flor.commit()
+// visibility semantics.
+func Replay(path string, strictCommits bool, fn func(rec any) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: open for replay: %w", err)
+	}
+	defer f.Close()
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("storage: read wal: %w", err)
+	}
+	lines := bytes.Split(data, []byte{'\n'})
+	// Determine the last commit position when strict.
+	lastCommit := -1
+	type parsed struct {
+		rec any
+		ok  bool
+	}
+	records := make([]parsed, len(lines))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, err := record.Decode(line)
+		if err != nil {
+			// Only the final non-empty line may be torn.
+			if isLastContent(lines, i) {
+				break
+			}
+			return fmt.Errorf("storage: corrupt wal record at line %d: %w", i+1, err)
+		}
+		records[i] = parsed{rec: rec, ok: true}
+		if _, isCommit := rec.(*record.CommitRecord); isCommit {
+			lastCommit = i
+		}
+	}
+	for i, p := range records {
+		if !p.ok {
+			continue
+		}
+		if strictCommits && i > lastCommit {
+			break
+		}
+		if err := fn(p.rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isLastContent(lines [][]byte, i int) bool {
+	for j := i + 1; j < len(lines); j++ {
+		if len(bytes.TrimSpace(lines[j])) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Recover replays the WAL into the given tables. It returns the highest
+// tstamp seen and the number of records applied.
+func Recover(path string, tables *record.Tables, strictCommits bool) (maxTstamp int64, applied int, err error) {
+	err = Replay(path, strictCommits, func(rec any) error {
+		if err := tables.Apply(rec); err != nil {
+			return err
+		}
+		applied++
+		switch r := rec.(type) {
+		case *record.LogRecord:
+			if r.Tstamp > maxTstamp {
+				maxTstamp = r.Tstamp
+			}
+		case *record.LoopRecord:
+			if r.Tstamp > maxTstamp {
+				maxTstamp = r.Tstamp
+			}
+		case *record.ArgRecord:
+			if r.Tstamp > maxTstamp {
+				maxTstamp = r.Tstamp
+			}
+		case *record.CommitRecord:
+			if r.Tstamp > maxTstamp {
+				maxTstamp = r.Tstamp
+			}
+		}
+		return nil
+	})
+	return maxTstamp, applied, err
+}

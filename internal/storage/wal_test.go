@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"flordb/internal/record"
+	"flordb/internal/relation"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "flor.wal")
+}
+
+func logRec(ts int64, name, val string) *record.LogRecord {
+	return &record.LogRecord{Kind: record.KindLog, ProjID: "p", Tstamp: ts, Filename: "f", ValueName: name, Value: val, ValueType: record.VTText}
+}
+
+func commitRec(ts int64) *record.CommitRecord {
+	return &record.CommitRecord{Kind: record.KindCommit, ProjID: "p", Tstamp: ts, VID: "v"}
+}
+
+func TestWALAppendFlushReplay(t *testing.T) {
+	path := walPath(t)
+	w, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(logRec(1, "x", "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Pending() != 5 {
+		t.Fatalf("pending = %d", w.Pending())
+	}
+	if err := w.AppendCommit(commitRec(2)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Pending() != 0 {
+		t.Fatal("commit should clear pending")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var n int
+	if err := Replay(path, false, func(rec any) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("replayed %d records", n)
+	}
+}
+
+func TestReplayStrictCommitsHidesUncommittedTail(t *testing.T) {
+	path := walPath(t)
+	w, _ := OpenWAL(path, Options{})
+	w.Append(logRec(1, "a", "1"))
+	w.AppendCommit(commitRec(2))
+	w.Append(logRec(3, "b", "2")) // uncommitted
+	w.Close()                     // close flushes but does not commit
+
+	var committed, all int
+	if err := Replay(path, true, func(rec any) error { committed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(path, false, func(rec any) error { all++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if committed != 2 || all != 3 {
+		t.Fatalf("committed=%d all=%d", committed, all)
+	}
+}
+
+func TestReplayToleratesTornTail(t *testing.T) {
+	path := walPath(t)
+	w, _ := OpenWAL(path, Options{})
+	w.Append(logRec(1, "a", "1"))
+	w.Close()
+	// Simulate a crash mid-append: a torn partial line at the end.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"log","proj`)
+	f.Close()
+
+	var n int
+	if err := Replay(path, false, func(rec any) error { n++; return nil }); err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d", n)
+	}
+}
+
+func TestReplayRejectsMidLogCorruption(t *testing.T) {
+	path := walPath(t)
+	w, _ := OpenWAL(path, Options{})
+	w.Append(logRec(1, "a", "1"))
+	w.Append(logRec(2, "b", "2"))
+	w.Close()
+	data, _ := os.ReadFile(path)
+	// Corrupt the first line.
+	data[2] = 0xFF
+	os.WriteFile(path, data, 0o644)
+	if err := Replay(path, false, func(rec any) error { return nil }); err == nil {
+		t.Fatal("mid-log corruption must error")
+	}
+}
+
+func TestReplayMissingFileIsEmpty(t *testing.T) {
+	if err := Replay(filepath.Join(t.TempDir(), "nope.wal"), false, func(any) error {
+		t.Fatal("no records expected")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverIntoTables(t *testing.T) {
+	path := walPath(t)
+	w, _ := OpenWAL(path, Options{})
+	w.Append(logRec(1, "acc", "0.8"))
+	w.Append(&record.LoopRecord{Kind: record.KindLoop, ProjID: "p", Tstamp: 1, Filename: "f", CtxID: 1, LoopName: "epoch"})
+	w.Append(&record.ArgRecord{Kind: record.KindArg, ProjID: "p", Tstamp: 1, Filename: "f", Name: "lr", Value: "0.01"})
+	w.AppendCommit(commitRec(5))
+	w.Close()
+
+	db := relation.NewDatabase()
+	tables, err := record.CreateTables(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxTs, applied, err := Recover(path, tables, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 4 || maxTs != 5 {
+		t.Fatalf("applied=%d maxTs=%d", applied, maxTs)
+	}
+	if tables.Logs.Len() != 1 || tables.Loops.Len() != 1 || tables.Args.Len() != 1 {
+		t.Fatal("tables not populated")
+	}
+}
+
+func TestWALConcurrentAppend(t *testing.T) {
+	path := walPath(t)
+	w, _ := OpenWAL(path, Options{NoSync: true})
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if err := w.Append(logRec(1, "x", "y")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	w.Close()
+	var n int
+	if err := Replay(path, false, func(any) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*per {
+		t.Fatalf("records = %d want %d", n, workers*per)
+	}
+}
+
+func TestBlobStorePutGet(t *testing.T) {
+	bs, err := NewBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := bs.Put([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, err := bs.Put([]byte("hello"))
+	if err != nil || key2 != key {
+		t.Fatalf("idempotent put: %v %v", key2, err)
+	}
+	data, err := bs.Get(key)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("get: %q %v", data, err)
+	}
+	if !bs.Has(key) || bs.Has("deadbeef") {
+		t.Fatal("Has semantics wrong")
+	}
+	if _, err := bs.Get("deadbeef"); err == nil {
+		t.Fatal("missing blob must error")
+	}
+}
+
+func TestBlobStoreIntegrityCheck(t *testing.T) {
+	dir := t.TempDir()
+	bs, _ := NewBlobStore(dir)
+	key, _ := bs.Put([]byte("payload"))
+	// Corrupt the stored file.
+	path := filepath.Join(dir, key[:2], key[2:])
+	os.WriteFile(path, []byte("tampered"), 0o644)
+	if _, err := bs.Get(key); err == nil {
+		t.Fatal("tampered blob must fail integrity check")
+	}
+}
+
+func TestHashKeyDeterministic(t *testing.T) {
+	if HashKey([]byte("a")) != HashKey([]byte("a")) {
+		t.Fatal("hash must be deterministic")
+	}
+	if HashKey([]byte("a")) == HashKey([]byte("b")) {
+		t.Fatal("different payloads must differ")
+	}
+}

@@ -1,0 +1,59 @@
+package vcs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// repoState is the on-disk serialization of a repository.
+type repoState struct {
+	Objects map[string][]byte `json:"objects"`
+	Head    string            `json:"head"`
+	Commits []string          `json:"commits"`
+}
+
+// Save writes the repository to path atomically (write temp + rename).
+func (r *Repo) Save(path string) error {
+	r.mu.RLock()
+	state := repoState{Objects: r.objects, Head: r.head, Commits: r.commits}
+	data, err := json.Marshal(state)
+	r.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("vcs: save: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("vcs: save: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("vcs: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("vcs: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a repository from path. A missing file yields an empty repo.
+func Load(path string) (*Repo, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewRepo(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("vcs: load: %w", err)
+	}
+	var state repoState
+	if err := json.Unmarshal(data, &state); err != nil {
+		return nil, fmt.Errorf("vcs: load: %w", err)
+	}
+	r := NewRepo()
+	if state.Objects != nil {
+		r.objects = state.Objects
+	}
+	r.head = state.Head
+	r.commits = state.Commits
+	return r, nil
+}

@@ -1,0 +1,201 @@
+package webui
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	flor "flordb"
+	"flordb/internal/docsim"
+)
+
+func testServer(t *testing.T) (*Server, *docsim.Corpus) {
+	t.Helper()
+	sess, err := flor.OpenMemory("pdf", flor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := docsim.Generate(docsim.Config{NumDocs: 3, MinPages: 4, MaxPages: 4, OCRFraction: 0.3, Seed: 1})
+	predict := func(doc *docsim.Document) []bool {
+		out := make([]bool, len(doc.Pages))
+		for i, p := range doc.Pages {
+			out[i] = p.FirstPage
+		}
+		return out
+	}
+	return NewServer(sess, corpus, predict), corpus
+}
+
+func TestHomeListsDocuments(t *testing.T) {
+	srv, corpus := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, name := range corpus.DocNames() {
+		if !strings.Contains(body, name) {
+			t.Fatalf("home missing %s:\n%s", name, body)
+		}
+	}
+}
+
+func TestHomeNotFoundForOtherPaths(t *testing.T) {
+	srv, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestViewPDFModelColors(t *testing.T) {
+	srv, corpus := testServer(t)
+	doc := corpus.DocNames()[0]
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/view-pdf?doc="+doc, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Document string `json:"document"`
+		Pages    []struct {
+			Page   int    `json:"page"`
+			Color  int    `json:"color"`
+			Source string `json:"source"`
+		} `json:"pages"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Pages) != 4 {
+		t.Fatalf("pages = %d", len(resp.Pages))
+	}
+	// One first page => all colors 0, all from the model.
+	for _, p := range resp.Pages {
+		if p.Color != 0 || p.Source != "model" {
+			t.Fatalf("page %d: %+v", p.Page, p)
+		}
+	}
+}
+
+func TestViewPDFUnknownDoc(t *testing.T) {
+	srv, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/view-pdf?doc=missing.pdf", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestSaveColorsFeedbackLoop(t *testing.T) {
+	srv, corpus := testServer(t)
+	doc := corpus.DocNames()[1]
+
+	// POST expert corrections.
+	body, _ := json.Marshal(map[string]any{"doc": doc, "colors": []int{0, 0, 1, 1}})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/save_colors", bytes.NewReader(body))
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// The labels are now visible with human provenance.
+	views, err := srv.GetColors(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1}
+	for i, v := range views {
+		if v.Color != want[i] || v.Source != "human" {
+			t.Fatalf("page %d: %+v", i, v)
+		}
+	}
+
+	// Other documents still use model colors (provenance isolation).
+	other, err := srv.GetColors(corpus.DocNames()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range other {
+		if v.Source != "model" {
+			t.Fatalf("other doc got human label: %+v", v)
+		}
+	}
+
+	// The feedback is durable metadata: queryable via SQL with iteration
+	// context linking it to the document.
+	res, err := srv.Sess.SQL(`
+		SELECT count(*) AS n FROM logs l JOIN loops o ON l.ctx_id = o.ctx_id
+		WHERE l.value_name = 'page_color' AND o.loop_name = 'page'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 4 {
+		t.Fatalf("page_color provenance rows: %v", res.Rows)
+	}
+}
+
+func TestSaveColorsLatestWins(t *testing.T) {
+	srv, corpus := testServer(t)
+	doc := corpus.DocNames()[0]
+	if err := srv.SaveColors(doc, []int{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SaveColors(doc, []int{0, 1, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	views, err := srv.GetColors(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 2}
+	for i, v := range views {
+		if v.Color != want[i] {
+			t.Fatalf("latest labels not used: page %d = %+v", i, v)
+		}
+	}
+}
+
+func TestSaveColorsValidation(t *testing.T) {
+	srv, corpus := testServer(t)
+	if err := srv.SaveColors("missing.pdf", []int{1}); err == nil {
+		t.Fatal("unknown doc must fail")
+	}
+	if err := srv.SaveColors(corpus.DocNames()[0], []int{1}); err == nil {
+		t.Fatal("wrong arity must fail")
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/save_colors", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET save_colors = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/save_colors", strings.NewReader("{bad json")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad json = %d", rec.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	srv.Sess.SetFilename("train.go")
+	for it := srv.Sess.Loop("epoch", 2); it.Next(); {
+		srv.Sess.Log("acc", 0.9)
+		srv.Sess.Log("recall", 0.8)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "acc,recall") || !strings.Contains(body, "0.9,0.8") {
+		t.Fatalf("metrics csv:\n%s", body)
+	}
+}
