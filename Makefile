@@ -1,0 +1,21 @@
+# Development targets. `make check` is what CI runs.
+
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test bench
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go test -run '^$$' -bench . -benchtime 1x .

@@ -9,6 +9,7 @@ package flor_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	flor "flordb"
@@ -416,8 +417,8 @@ func benchCommit(b *testing.B, batch int, noSync bool) {
 	}
 }
 
-func BenchmarkC6Commit1Log(b *testing.B)        { benchCommit(b, 1, false) }
-func BenchmarkC6Commit100Logs(b *testing.B)     { benchCommit(b, 100, false) }
+func BenchmarkC6Commit1Log(b *testing.B)          { benchCommit(b, 1, false) }
+func BenchmarkC6Commit100Logs(b *testing.B)       { benchCommit(b, 100, false) }
 func BenchmarkC6Commit100LogsNoSync(b *testing.B) { benchCommit(b, 100, true) }
 
 // ---------------------------------------------------------------------------
@@ -442,11 +443,13 @@ func benchBuild(b *testing.B, dirty string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	work := 0
+	var work atomic.Int64 // independent targets (b, c) execute concurrently
 	runner := build.NewRunner(mf, func(rule build.Rule) error {
-		for i := 0; i < 10000; i++ {
-			work += i
+		local := int64(0)
+		for i := int64(0); i < 10000; i++ {
+			local += i
 		}
+		work.Add(local)
 		return nil
 	}, 2)
 	if err := runner.Run("e"); err != nil {
@@ -455,18 +458,20 @@ func benchBuild(b *testing.B, dirty string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if dirty != "" {
-			runner.Touch(dirty)
+			if err := runner.Touch(dirty); err != nil {
+				b.Fatal(err)
+			}
 		}
 		if err := runner.Run("e"); err != nil {
 			b.Fatal(err)
 		}
 	}
-	_ = work
+	_ = work.Load()
 }
 
-func BenchmarkC7BuildAllCached(b *testing.B)    { benchBuild(b, "") }
-func BenchmarkC7BuildDirtyLeaf(b *testing.B)    { benchBuild(b, "src2") }
-func BenchmarkC7BuildDirtyRoot(b *testing.B)    { benchBuild(b, "src1") }
+func BenchmarkC7BuildAllCached(b *testing.B) { benchBuild(b, "") }
+func BenchmarkC7BuildDirtyLeaf(b *testing.B) { benchBuild(b, "src2") }
+func BenchmarkC7BuildDirtyRoot(b *testing.B) { benchBuild(b, "src1") }
 
 // ---------------------------------------------------------------------------
 // Ablations (§5 of DESIGN.md).

@@ -24,18 +24,17 @@ import (
 )
 
 // makefile is the paper's Figure-2 pipeline shape with Figure-4 stages.
+// label_by_hand is a rule-less source: the expert's labels, dirtied via
+// runner.Touch when feedback arrives.
 const makefile = `
 featurize: corpus featurize.flow
 	flow featurize.flow
 
-train: featurize hand_label train.flow
+train: featurize label_by_hand train.flow
 	flow train.flow
 
 infer: train infer.flow
 	flow infer.flow
-
-hand_label: label_by_hand
-	noop
 
 run: featurize infer
 	serve
@@ -146,7 +145,9 @@ func main() {
 
 	// == Incremental rebuild: only the dirty subtree re-runs ==
 	fmt.Println("\n== Build 2: hand labels changed; only train+infer re-run ==")
-	runner.Touch("label_by_hand")
+	if err := runner.Touch("label_by_hand"); err != nil {
+		log.Fatal(err)
+	}
 	if err := runner.Run("infer"); err != nil {
 		log.Fatal(err)
 	}

@@ -60,7 +60,8 @@ type Session struct {
 	ProjID string
 
 	mu        sync.Mutex
-	dir       string // "" for in-memory sessions
+	runMu     sync.Mutex // serializes whole RunScript executions
+	dir       string     // "" for in-memory sessions
 	db        *relation.Database
 	tables    *record.Tables
 	wal       *storage.WAL
@@ -493,12 +494,16 @@ func (s *Session) RegisterHost(name string, fn script.HostFunc) {
 // RunScript executes a Flow script under recording: logs, loops, args and
 // checkpoints are captured with the script's filename; the source is staged
 // so the next Commit versions it. The paper's equivalent is `python
-// train.py` under FlorDB instrumentation.
+// train.py` under FlorDB instrumentation. Script runs are serialized:
+// recording attributes every record to the session's current filename, so
+// concurrent callers (parallel build targets, web UI handlers) queue here.
 func (s *Session) RunScript(filename, src string) error {
 	f, err := script.Parse(filename, src)
 	if err != nil {
 		return err
 	}
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	s.mu.Lock()
 	prevFile := s.recorder.Ctx.Filename
 	s.recorder.Ctx.Filename = filename

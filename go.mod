@@ -1,0 +1,3 @@
+module flordb
+
+go 1.24

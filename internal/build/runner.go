@@ -1,0 +1,224 @@
+package build
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Runner executes a Makefile's DAG incrementally: a worker pool walks the
+// rules in topological order, re-running only dirty targets and skipping
+// clean ones. Every target starts dirty (never built); a successful run
+// marks it clean, and Touch dirties a node plus its transitive dependents,
+// so a clean target always has clean dependencies.
+type Runner struct {
+	mf      *Makefile
+	exec    func(Rule) error
+	workers int
+
+	mu         sync.Mutex
+	dirty      map[string]bool
+	gen        map[string]uint64   // bumped by Touch; guards lost updates
+	dependents map[string][]string // dep -> targets whose rules name it
+
+	// Ran and Cached record the last Run's executed and skipped targets,
+	// in completion order (topological order when workers == 1). Read them
+	// only after Run returns.
+	Ran    []string
+	Cached []string
+}
+
+// NewRunner builds a runner over mf. exec is invoked once per dirty target;
+// workers bounds how many exec calls are in flight at once (min 1).
+func NewRunner(mf *Makefile, exec func(Rule) error, workers int) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Runner{
+		mf:         mf,
+		exec:       exec,
+		workers:    workers,
+		dirty:      make(map[string]bool, len(mf.Rules)),
+		gen:        make(map[string]uint64, len(mf.Rules)),
+		dependents: make(map[string][]string),
+	}
+	for _, rule := range mf.Rules {
+		r.dirty[rule.Target] = true // never built
+		for _, d := range rule.Deps {
+			r.dependents[d] = append(r.dependents[d], rule.Target)
+		}
+	}
+	return r
+}
+
+// Touch marks name dirty — a source changed on disk, or a target must be
+// rebuilt — and transitively dirties every target that depends on it, so
+// the next Run re-executes exactly the affected subtree.
+func (r *Runner) Touch(name string) error {
+	if !r.mf.Known(name) {
+		return fmt.Errorf("build: touch: unknown name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	queue := []string{name}
+	seen := map[string]bool{name: true}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if _, isTarget := r.mf.byName[n]; isTarget {
+			r.dirty[n] = true
+			r.gen[n]++
+		}
+		for _, d := range r.dependents[n] {
+			if !seen[d] {
+				seen[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return nil
+}
+
+// IsCached reports whether the named target is clean (would be skipped).
+func (r *Runner) IsCached(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, isTarget := r.mf.byName[name]; !isTarget {
+		return false
+	}
+	return !r.dirty[name]
+}
+
+// Run brings goal up to date: the rules goal transitively depends on are
+// walked dependencies-first by a pool of r.workers workers; dirty targets
+// execute, clean ones are skipped. The first exec error aborts the walk
+// (in-flight work drains) and the failed target stays dirty. Ran and
+// Cached are reset and refilled whenever there are rules to walk; a
+// rejected goal or a rule-less source goal leaves the previous record
+// intact.
+func (r *Runner) Run(goal string) error {
+	if !r.mf.Known(goal) {
+		return fmt.Errorf("build: no rule to make target %q", goal)
+	}
+	targets := r.mf.topoRules(goal)
+	if len(targets) == 0 { // goal is a source: nothing to build
+		return nil
+	}
+	r.mu.Lock()
+	r.Ran, r.Cached = nil, nil
+	r.mu.Unlock()
+
+	topoIdx := make(map[string]int, len(targets))
+	for i, t := range targets {
+		topoIdx[t.Target] = i
+	}
+	pending := make(map[int]int, len(targets)) // unfinished in-plan deps
+	blocks := make(map[int][]int)              // finished target -> unblocked
+	var ready []int                            // topo indices, kept sorted
+	for i, t := range targets {
+		for _, d := range t.Deps {
+			if j, inPlan := topoIdx[d]; inPlan {
+				pending[i]++
+				blocks[j] = append(blocks[j], i)
+			}
+		}
+		if pending[i] == 0 {
+			ready = append(ready, i) // ascending i: already sorted
+		}
+	}
+
+	type result struct {
+		idx int
+		err error
+	}
+	results := make(chan result)
+	inflight, done := 0, 0
+	var firstErr error
+	unblock := func(idx int) {
+		for _, j := range blocks[idx] {
+			pending[j]--
+			if pending[j] == 0 {
+				k := sort.SearchInts(ready, j)
+				ready = append(ready[:k], append([]int{j}, ready[k:]...)...)
+			}
+		}
+	}
+	for done < len(targets) {
+		for firstErr == nil && inflight < r.workers && len(ready) > 0 {
+			idx := ready[0]
+			ready = ready[1:]
+			rule := targets[idx]
+			if r.IsCached(rule.Target) {
+				// Cache hit: resolve inline, no worker round trip.
+				r.record(&r.Cached, rule.Target)
+				done++
+				unblock(idx)
+				continue
+			}
+			inflight++
+			r.mu.Lock()
+			gen := r.gen[rule.Target]
+			r.mu.Unlock()
+			go func(rule *Rule, idx int, gen uint64) {
+				err := r.exec(*rule)
+				if err == nil {
+					r.markClean(rule.Target, gen)
+				}
+				results <- result{idx, err}
+			}(rule, idx, gen)
+		}
+		if done == len(targets) {
+			break
+		}
+		if inflight == 0 {
+			break // error set, or (impossibly) stalled
+		}
+		res := <-results
+		inflight--
+		done++
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("build: %s: %w", targets[res.idx].Target, res.err)
+			}
+			continue
+		}
+		unblock(res.idx)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if done < len(targets) {
+		return fmt.Errorf("build: stalled after %d of %d targets", done, len(targets))
+	}
+	return nil
+}
+
+// markClean records the target in Ran and clears its dirty bit — unless a
+// Touch landed after dispatch (generation mismatch), or a dependency was
+// re-dirtied while this target executed: either way the exec saw stale
+// inputs and the target must stay dirty for the next Run, preserving the
+// invariant that a clean target has only clean dependencies.
+func (r *Runner) markClean(name string, gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clean := r.gen[name] == gen
+	if clean {
+		for _, d := range r.mf.byName[name].Deps {
+			if r.dirty[d] {
+				clean = false
+				break
+			}
+		}
+	}
+	if clean {
+		r.dirty[name] = false
+	}
+	r.Ran = append(r.Ran, name)
+}
+
+// record appends name to one of the Ran/Cached slices under the lock.
+func (r *Runner) record(dst *[]string, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	*dst = append(*dst, name)
+}

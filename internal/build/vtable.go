@@ -1,0 +1,38 @@
+package build
+
+import (
+	"strings"
+
+	"flordb/internal/record"
+	"flordb/internal/relation"
+)
+
+// DepsVirtualTable exposes the makefile's DAG as the paper's `build_deps`
+// relation (Figure 1): one row per rule with its target, comma-joined deps
+// and recipe, and whether the target is currently cached (clean) in runner.
+// prefix is prepended to the table name "build_deps", letting multiple
+// makefiles register side by side; the vid column is NULL until a build is
+// tied to a commit.
+func DepsVirtualTable(mf *Makefile, runner *Runner, prefix string) relation.VirtualTable {
+	return &relation.FuncVirtualTable{
+		TableName:   prefix + "build_deps",
+		TableSchema: record.BuildDepsSchema(),
+		RowsFn: func() []relation.Row {
+			rows := make([]relation.Row, 0, len(mf.Rules))
+			for _, rule := range mf.Rules {
+				cached := false
+				if runner != nil {
+					cached = runner.IsCached(rule.Target)
+				}
+				rows = append(rows, relation.Row{
+					relation.Null(),
+					relation.Text(rule.Target),
+					relation.Text(strings.Join(rule.Deps, ",")),
+					relation.Text(strings.Join(rule.Cmds, " && ")),
+					relation.Bool(cached),
+				})
+			}
+			return rows
+		},
+	}
+}

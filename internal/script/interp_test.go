@@ -385,12 +385,12 @@ print(seen)
 
 func TestFlorMisuseErrors(t *testing.T) {
 	cases := []string{
-		"x = flor.loop(\"e\", range(2))\n",       // loop outside for
-		"with flor.commit() { }\n",               // with on non-context call
-		"flor.log(\"only-name\")\n",              // wrong arity
-		"x = flor.arg(5, 1)\n",                   // non-string name
-		"for x in flor.loop(5, range(2)) { }\n",  // non-string loop name
-		"with flor.iteration(\"d\", nil) { }\n",  // wrong arity
+		"x = flor.loop(\"e\", range(2))\n",      // loop outside for
+		"with flor.commit() { }\n",              // with on non-context call
+		"flor.log(\"only-name\")\n",             // wrong arity
+		"x = flor.arg(5, 1)\n",                  // non-string name
+		"for x in flor.loop(5, range(2)) { }\n", // non-string loop name
+		"with flor.iteration(\"d\", nil) { }\n", // wrong arity
 	}
 	for _, src := range cases {
 		if err := runErr(t, src); err == nil {

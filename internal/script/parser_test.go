@@ -176,12 +176,12 @@ func TestParseErrorsFlow(t *testing.T) {
 		"for in range(3) { }",
 		"x = ",
 		"func () { }",
-		"with x { }",               // with requires a call
-		"1 = 2",                    // bad assignment target
-		"for x in range(3) }",      // missing {
-		"return 1 2",               // trailing junk
-		"x = f(a=1, 2)",            // positional after keyword
-		"while { }",                // missing condition
+		"with x { }",              // with requires a call
+		"1 = 2",                   // bad assignment target
+		"for x in range(3) }",     // missing {
+		"return 1 2",              // trailing junk
+		"x = f(a=1, 2)",           // positional after keyword
+		"while { }",               // missing condition
 		"with flor.commit() else", // junk
 	}
 	for _, src := range bad {
