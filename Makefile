@@ -1,6 +1,6 @@
 # Development targets. `make check` is what CI runs.
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench bench-full
 
 check: fmt vet build test bench
 
@@ -17,5 +17,13 @@ build:
 test:
 	go test -race ./...
 
+# bench runs every benchmark once and snapshots the machine-readable output
+# to BENCH_latest.json; CI uploads it as an artifact so the perf trajectory
+# is tracked per PR. bench-full measures at default benchtime for local use.
 bench:
-	go test -run '^$$' -bench . -benchtime 1x .
+	go test -run '^$$' -bench . -benchmem -count=1 -benchtime 1x -json . > BENCH_latest.json \
+		|| { cat BENCH_latest.json; exit 1; }
+	@echo "wrote BENCH_latest.json ($$(grep -c 'ns/op' BENCH_latest.json) benchmark results)"
+
+bench-full:
+	go test -run '^$$' -bench . -benchmem -count=1 .

@@ -1,6 +1,6 @@
 // Benchmark harness for the FlorDB reproduction. One benchmark per figure
-// and per performance claim in DESIGN.md's experiment index (F2-F6, C1-C7)
-// plus the ablations of §5. Run:
+// and per performance claim in DESIGN.md's experiment index (F2-F6, C1-C10)
+// plus the ablations of §6. Run:
 //
 //	go test -bench=. -benchmem
 //
@@ -16,8 +16,11 @@ import (
 	"flordb/internal/build"
 	"flordb/internal/docsim"
 	"flordb/internal/hostlib"
+	"flordb/internal/record"
+	"flordb/internal/relation"
 	"flordb/internal/replay"
 	"flordb/internal/script"
+	"flordb/internal/sqlparse"
 	"flordb/internal/storage"
 )
 
@@ -474,7 +477,104 @@ func BenchmarkC7BuildDirtyLeaf(b *testing.B) { benchBuild(b, "src2") }
 func BenchmarkC7BuildDirtyRoot(b *testing.B) { benchBuild(b, "src1") }
 
 // ---------------------------------------------------------------------------
-// Ablations (§5 of DESIGN.md).
+// C8/C9/C10 — query planner: index-backed access paths and join pushdown vs
+// the pre-planner full-scan executor, over a 100k-row logs table (1000
+// versions x 100 value names). The *ScanBaseline variants run the identical
+// statement through sqlparse.ExecuteScan — the pre-planner behavior — so the
+// speedup is measured in-tree; EXPERIMENTS.md records the ratios.
+// ---------------------------------------------------------------------------
+
+const (
+	benchQueryTstamps = 1000
+	benchQueryNames   = 100 // 100k logs rows total
+)
+
+// benchQueryDB builds the planner benchmark database: logs with the default
+// indexes from record.CreateTables, plus one ts2vid row per version.
+func benchQueryDB(b *testing.B) *relation.Database {
+	b.Helper()
+	db := relation.NewDatabase()
+	tables, err := record.CreateTables(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for ts := 0; ts < benchQueryTstamps; ts++ {
+		for n := 0; n < benchQueryNames; n++ {
+			_, err := tables.Logs.Insert(relation.Row{
+				relation.Text("bench"), relation.Int(int64(ts)), relation.Text("train.flow"),
+				relation.Int(int64(ts*benchQueryNames + n)), relation.Text(fmt.Sprintf("name_%d", n)),
+				relation.Text("0.5"), relation.Int(2),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		_, err := tables.Ts2vid.Insert(relation.Row{
+			relation.Text("bench"), relation.Int(int64(ts)), relation.Int(int64(ts)),
+			relation.Text(fmt.Sprintf("v%d", ts)), relation.Null(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func benchQuery(b *testing.B, query string, wantRows int, naive bool) {
+	db := benchQueryDB(b)
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := sqlparse.Execute
+	if naive {
+		exec = sqlparse.ExecuteScan
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exec(db, stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != wantRows {
+			b.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+		}
+	}
+}
+
+const (
+	benchPointQuery = "SELECT value FROM logs WHERE projid = 'bench' AND value_name = 'name_42'"
+	benchRangeQuery = "SELECT value_name, value FROM logs WHERE tstamp BETWEEN 100 AND 110"
+	benchJoinQuery  = `SELECT l.value, v.vid FROM logs l JOIN ts2vid v ON l.tstamp = v.ts_start
+		WHERE l.projid = 'bench' AND l.value_name = 'name_7' AND v.projid = 'bench'`
+)
+
+func BenchmarkC8PointQuery(b *testing.B) {
+	benchQuery(b, benchPointQuery, benchQueryTstamps, false)
+}
+
+func BenchmarkC8PointQueryScanBaseline(b *testing.B) {
+	benchQuery(b, benchPointQuery, benchQueryTstamps, true)
+}
+
+func BenchmarkC9RangeQuery(b *testing.B) {
+	benchQuery(b, benchRangeQuery, 11*benchQueryNames, false)
+}
+
+func BenchmarkC9RangeQueryScanBaseline(b *testing.B) {
+	benchQuery(b, benchRangeQuery, 11*benchQueryNames, true)
+}
+
+func BenchmarkC10JoinPushdown(b *testing.B) {
+	benchQuery(b, benchJoinQuery, benchQueryTstamps, false)
+}
+
+func BenchmarkC10JoinPushdownScanBaseline(b *testing.B) {
+	benchQuery(b, benchJoinQuery, benchQueryTstamps, true)
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (§6 of DESIGN.md).
 // ---------------------------------------------------------------------------
 
 // Ablation 1: checkpoint policy — recording cost under different policies.

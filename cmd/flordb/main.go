@@ -4,6 +4,7 @@
 //	flordb hindsight <script.flow> <new.flow>         propagate + replay new logs
 //	flordb dataframe <name> [<name> ...]              pivoted metadata view
 //	flordb sql "<query>"                              SQL over the Figure-1 schema
+//	flordb sql "EXPLAIN <query>"                      show the chosen query plan
 //	flordb versions <script.flow>                     committed versions of a file
 //	flordb build <Makefile> <goal>                    run a pipeline Makefile
 //	flordb serve [--addr :8080]                       Figure-6 feedback web UI

@@ -33,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -457,9 +458,30 @@ func (s *Session) DataframeAt(filename string, tstamp int64, names ...string) (*
 }
 
 // SQL runs a SQL query over the Figure-1 schema (logs, loops, ts2vid,
-// obj_store, args, git, build_deps when registered).
+// obj_store, args, git, build_deps when registered). Prefix a query with
+// EXPLAIN to get the chosen query plan instead of rows.
 func (s *Session) SQL(query string) (*sqlparse.Result, error) {
 	return sqlparse.Run(s.db, query)
+}
+
+// Explain returns the query plan the planner chose for a SQL query as
+// indented text, one operator per line — equivalent to running the query
+// with an EXPLAIN prefix.
+func (s *Session) Explain(query string) (string, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	stmt.Explain = true
+	res, err := sqlparse.Execute(s.db, stmt)
+	if err != nil {
+		return "", err
+	}
+	lines := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		lines[i] = r[0].String()
+	}
+	return strings.Join(lines, "\n"), nil
 }
 
 // Database exposes the catalog (for registering additional virtual tables,

@@ -469,3 +469,47 @@ func TestLoopEarlyValuesMatchPaperNesting(t *testing.T) {
 		t.Fatalf("columns: %v", df.Columns)
 	}
 }
+
+func TestExplainShowsIndexBackedPlan(t *testing.T) {
+	sess, err := OpenMemory("p", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetFilename("train.go")
+	for it := sess.Loop("epoch", 3); it.Next(); {
+		sess.Log("acc", 0.9)
+	}
+
+	plan, err := sess.Explain("SELECT value FROM logs WHERE projid = 'p' AND value_name = 'acc'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "IndexLookup logs via hash(projid, value_name)") {
+		t.Fatalf("point query not index-backed:\n%s", plan)
+	}
+
+	// The EXPLAIN prefix through the plain SQL surface agrees.
+	res, err := sess.SQL("EXPLAIN SELECT value FROM logs WHERE projid = 'p' AND value_name = 'acc'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "plan" || len(res.Rows) == 0 {
+		t.Fatalf("EXPLAIN result shape: cols=%v rows=%d", res.Columns, len(res.Rows))
+	}
+	joined := ""
+	for _, r := range res.Rows {
+		joined += r[0].String() + "\n"
+	}
+	if !strings.Contains(joined, "IndexLookup") {
+		t.Fatalf("SQL EXPLAIN missing index lookup:\n%s", joined)
+	}
+
+	// And the plan executes to the same rows the naive path would produce.
+	rows, err := sess.SQL("SELECT value FROM logs WHERE projid = 'p' AND value_name = 'acc'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 3 {
+		t.Fatalf("planned query returned %d rows, want 3", len(rows.Rows))
+	}
+}

@@ -12,6 +12,7 @@ package pivot
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"flordb/internal/record"
@@ -78,6 +79,7 @@ func Build(tables *record.Tables, projid string, names []string, opts Options) (
 	}
 	aggs := make(map[string]*rowAgg)
 	var order []string
+	var keyBuf []byte // reused per visit; row keys are (tstamp, filename, ctx_id)
 	seq := 0
 
 	useIndex := false
@@ -96,9 +98,14 @@ func Build(tables *record.Tables, projid string, names []string, opts Options) (
 		if opts.Tstamp > 0 && tstamp != opts.Tstamp {
 			return
 		}
-		key := fmt.Sprintf("%d\x1f%s\x1f%d", tstamp, filename, ctxID)
-		agg, ok := aggs[key]
+		keyBuf = strconv.AppendInt(keyBuf[:0], tstamp, 10)
+		keyBuf = append(keyBuf, '\x1f')
+		keyBuf = append(keyBuf, filename...)
+		keyBuf = append(keyBuf, '\x1f')
+		keyBuf = strconv.AppendInt(keyBuf, ctxID, 10)
+		agg, ok := aggs[string(keyBuf)]
 		if !ok {
+			key := string(keyBuf)
 			agg = &rowAgg{
 				tstamp: tstamp, filename: filename, ctxID: ctxID,
 				dims: make(map[string]string), vals: make(map[string]relation.Value), seq: seq,

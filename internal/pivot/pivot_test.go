@@ -311,3 +311,71 @@ func TestBuildErrors(t *testing.T) {
 		t.Fatalf("missing project: %v %d", err, df.Len())
 	}
 }
+
+// TestPivotIndexFastPathEquivalence locks in the revived index fast-path:
+// Build must return identical rows whether or not the logs(projid,
+// value_name) hash index exists, and the index must be live out of
+// record.CreateTables.
+func TestPivotIndexFastPathEquivalence(t *testing.T) {
+	indexed := fixture(t)
+	if _, ok := indexed.Logs.HashIndexOn("projid", "value_name"); !ok {
+		t.Fatal("logs(projid, value_name) hash index is not live after CreateTables")
+	}
+
+	// Rebuild the same table contents with no indexes at all, forcing
+	// Build's scan fallback.
+	bare := &record.Tables{
+		Logs:     relation.NewTable("logs", record.LogsSchema()),
+		Loops:    relation.NewTable("loops", record.LoopsSchema()),
+		Ts2vid:   relation.NewTable("ts2vid", record.Ts2vidSchema()),
+		ObjStore: relation.NewTable("obj_store", record.ObjStoreSchema()),
+		Args:     relation.NewTable("args", record.ArgsSchema()),
+	}
+	if _, ok := bare.Logs.HashIndexOn("projid", "value_name"); ok {
+		t.Fatal("bare fixture unexpectedly has an index")
+	}
+	if err := bare.Logs.InsertMany(indexed.Logs.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.Loops.InsertMany(indexed.Loops.Rows()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		names []string
+		opts  Options
+	}{
+		{[]string{"acc", "recall"}, Options{}},
+		{[]string{"acc"}, Options{Tstamp: 2}},
+		{[]string{"text_src", "page_text"}, Options{Filename: "featurize.flow"}},
+		{[]string{"missing"}, Options{}},
+	} {
+		fast, err := Build(indexed, "pdf", tc.names, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := Build(bare, "pdf", tc.names, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := render(fast), render(slow); got != want {
+			t.Fatalf("names %v: indexed and scan pivots differ:\nindexed:\n%s\nscan:\n%s", tc.names, got, want)
+		}
+	}
+}
+
+func render(df *Dataframe) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(df.Columns, ","))
+	sb.WriteByte('\n')
+	for _, r := range df.Rows {
+		for i, v := range r {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

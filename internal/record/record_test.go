@@ -215,3 +215,55 @@ func TestBlobStoreLatestWins(t *testing.T) {
 		t.Fatal("blob before first tstamp must not be found")
 	}
 }
+
+func TestCreateTablesInstallsDefaultIndexes(t *testing.T) {
+	// Regression: the pivot fast-path (pivot.go's HashIndexOn check) and the
+	// SQL planner's access paths depend on these indexes being live from
+	// table creation, not on callers remembering to build them.
+	db := relation.NewDatabase()
+	tables, err := CreateTables(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashIndexes := []struct {
+		table *relation.Table
+		cols  []string
+	}{
+		{tables.Logs, []string{"projid", "value_name"}},
+		{tables.ObjStore, []string{"projid", "value_name"}},
+		{tables.Loops, []string{"projid"}},
+		{tables.Ts2vid, []string{"projid"}},
+		{tables.Args, []string{"projid", "name"}},
+	}
+	for _, h := range hashIndexes {
+		if _, ok := h.table.HashIndexOn(h.cols...); !ok {
+			t.Errorf("table %s: hash index on %v missing", h.table.Name(), h.cols)
+		}
+	}
+	orderedIndexes := []struct {
+		table *relation.Table
+		col   string
+	}{
+		{tables.Logs, "tstamp"},
+		{tables.Loops, "tstamp"},
+		{tables.Ts2vid, "ts_start"},
+	}
+	for _, o := range orderedIndexes {
+		if _, ok := o.table.OrderedIndexOn(o.col); !ok {
+			t.Errorf("table %s: ordered index on %s missing", o.table.Name(), o.col)
+		}
+	}
+
+	// The indexes are maintained, not just created: inserted rows must be
+	// visible through them.
+	if err := tables.Apply(&LogRecord{
+		Kind: KindLog, ProjID: "p", Tstamp: 1, Filename: "f", CtxID: 0,
+		ValueName: "acc", Value: "0.9", ValueType: VTFloat,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := tables.Logs.HashIndexOn("projid", "value_name")
+	if got := len(ix.Lookup(relation.Text("p"), relation.Text("acc"))); got != 1 {
+		t.Fatalf("index lookup after Apply: %d ids, want 1", got)
+	}
+}

@@ -108,7 +108,8 @@ type Tables struct {
 // CreateTables creates all base tables in the database and installs the
 // secondary indexes the access paths in the paper need: logs by
 // (projid, value_name) for dataframe pivots, logs/loops by tstamp for
-// version slicing.
+// version slicing, loops/ts2vid/args by project for the per-project hot
+// queries the SQL planner turns into index lookups.
 func CreateTables(db *relation.Database) (*Tables, error) {
 	logs, err := db.CreateTable("logs", LogsSchema())
 	if err != nil {
@@ -140,6 +141,18 @@ func CreateTables(db *relation.Database) (*Tables, error) {
 		return nil, err
 	}
 	if _, err := objStore.CreateHashIndex("projid", "value_name"); err != nil {
+		return nil, err
+	}
+	if _, err := loops.CreateHashIndex("projid"); err != nil {
+		return nil, err
+	}
+	if _, err := ts2vid.CreateHashIndex("projid"); err != nil {
+		return nil, err
+	}
+	if _, err := ts2vid.CreateOrderedIndex("ts_start"); err != nil {
+		return nil, err
+	}
+	if _, err := args.CreateHashIndex("projid", "name"); err != nil {
 		return nil, err
 	}
 	return &Tables{Logs: logs, Loops: loops, Ts2vid: ts2vid, ObjStore: objStore, Args: args}, nil

@@ -94,7 +94,7 @@ func (db *Database) Source(name string) (Iterator, error) {
 	case isBase:
 		return NewScan(t), nil
 	case isVirtual:
-		return NewSliceScan(v.Schema(), v.Rows()), nil
+		return NewLazyScan(v.Schema(), v.Rows), nil
 	default:
 		return nil, fmt.Errorf("relation: no table %q", name)
 	}

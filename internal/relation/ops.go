@@ -27,16 +27,20 @@ func Collect(it Iterator) []Row {
 
 // ---------- Scan ----------
 
-// ScanOp iterates a table snapshot in insertion order.
+// ScanOp iterates a table snapshot in insertion order. The snapshot is taken
+// lazily on the first Next call, so building an operator tree (e.g. for
+// EXPLAIN) costs nothing.
 type ScanOp struct {
 	schema *Schema
+	src    func() []Row // nil once materialized
 	rows   []Row
 	i      int
 }
 
-// NewScan snapshots the table and returns a scan operator.
+// NewScan returns a scan operator over the table; the table is snapshotted on
+// first Next.
 func NewScan(t *Table) *ScanOp {
-	return &ScanOp{schema: t.Schema(), rows: t.Rows()}
+	return &ScanOp{schema: t.Schema(), src: t.Rows}
 }
 
 // NewSliceScan wraps pre-materialized rows in an iterator.
@@ -44,17 +48,66 @@ func NewSliceScan(schema *Schema, rows []Row) *ScanOp {
 	return &ScanOp{schema: schema, rows: rows}
 }
 
+// NewLazyScan wraps a row producer that is invoked on first Next; virtual
+// tables use it so EXPLAIN does not materialize them.
+func NewLazyScan(schema *Schema, src func() []Row) *ScanOp {
+	return &ScanOp{schema: schema, src: src}
+}
+
 // Schema implements Iterator.
 func (s *ScanOp) Schema() *Schema { return s.schema }
 
 // Next implements Iterator.
 func (s *ScanOp) Next() (Row, bool) {
+	if s.src != nil {
+		s.rows = s.src()
+		s.src = nil
+	}
 	if s.i >= len(s.rows) {
 		return nil, false
 	}
 	r := s.rows[s.i]
 	s.i++
 	return r, true
+}
+
+// ---------- Index access paths ----------
+
+// NewIndexLookup builds the equality-index access path over the hash index
+// covering cols: each entry of keys is one full key tuple (multiple tuples
+// serve IN-list plans). The lookup resolves lazily on first Next. It fails
+// if no such index exists.
+func NewIndexLookup(t *Table, cols []string, keys [][]Value) (*ScanOp, error) {
+	ix, ok := t.HashIndexOn(cols...)
+	if !ok {
+		return nil, fmt.Errorf("relation: table %s has no hash index on %v", t.Name(), cols)
+	}
+	for _, k := range keys {
+		if len(k) != len(cols) {
+			return nil, fmt.Errorf("relation: index lookup key arity %d != %d", len(k), len(cols))
+		}
+	}
+	return NewLazyScan(t.Schema(), func() []Row {
+		var ids []RowID
+		for _, k := range keys {
+			ids = append(ids, ix.Lookup(k...)...)
+		}
+		return t.RowsByIDs(ids)
+	}), nil
+}
+
+// NewIndexRange builds the range-index access path over the ordered index on
+// col, producing matching rows in ascending value order. NULL bounds mean
+// unbounded; NULL-valued rows are never produced. The range resolves lazily
+// on first Next.
+func NewIndexRange(t *Table, col string, lo, hi Value, loIncl, hiIncl bool) (*ScanOp, error) {
+	ix, ok := t.OrderedIndexOn(col)
+	if !ok {
+		return nil, fmt.Errorf("relation: table %s has no ordered index on %s", t.Name(), col)
+	}
+	return NewLazyScan(t.Schema(), func() []Row {
+		return t.RowsByIDs(ix.RangeBounds(lo, hi, loIncl, hiIncl))
+	}), nil
 }
 
 // ---------- Filter ----------
@@ -150,19 +203,33 @@ func (p *ProjectOp) Next() (Row, bool) {
 
 // ---------- Hash Join ----------
 
-// HashJoinOp implements an equi-join: build side is fully materialized into
-// a hash table keyed on the build columns; probe side streams.
+// HashJoinOp implements an equi-join: the build side is materialized into a
+// hash table keyed on the build columns; the probe side streams. The build
+// happens lazily on the first Next, so constructing the operator (e.g. for
+// EXPLAIN, or under a LIMIT that is never reached) costs nothing. Either side
+// can be the build side; output rows are always left-columns-then-right.
 type HashJoinOp struct {
-	probe      Iterator
-	buildRows  map[string][]Row
-	probeCols  []int
-	schema     *Schema
-	buildWidth int
-	pending    []Row
+	probe       Iterator
+	buildSrc    Iterator // drained into buildRows on first Next
+	buildRows   map[string][]Row
+	probeCols   []int
+	buildCols   []int
+	schema      *Schema
+	buildIsLeft bool
+	built       bool
+	pending     []Row
+	keyBuf      []byte
 }
 
 // NewHashJoin joins left (probe) to right (build) on leftCols[i] == rightCols[i].
 func NewHashJoin(left, right Iterator, leftCols, rightCols []string, rightQualifier string) (*HashJoinOp, error) {
+	return NewHashJoinBuildSide(left, right, leftCols, rightCols, rightQualifier, false)
+}
+
+// NewHashJoinBuildSide is NewHashJoin with an explicit build side: buildLeft
+// selects the left input as the materialized side (planners pick the smaller
+// estimated input). The output schema and column order are unaffected.
+func NewHashJoinBuildSide(left, right Iterator, leftCols, rightCols []string, rightQualifier string, buildLeft bool) (*HashJoinOp, error) {
 	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
 		return nil, fmt.Errorf("relation: join requires equal, non-empty key lists")
 	}
@@ -182,40 +249,32 @@ func NewHashJoin(left, right Iterator, leftCols, rightCols []string, rightQualif
 		}
 		rpos[i] = p
 	}
-	build := make(map[string][]Row)
-	for {
-		r, ok := right.Next()
-		if !ok {
-			break
-		}
-		key, null := joinKey(r, rpos)
-		if null {
-			continue // NULL keys never match
-		}
-		build[key] = append(build[key], r)
-	}
 	schema, err := Concat(left.Schema(), right.Schema(), rightQualifier)
 	if err != nil {
 		return nil, err
 	}
-	return &HashJoinOp{
-		probe:      left,
-		buildRows:  build,
-		probeCols:  lpos,
-		schema:     schema,
-		buildWidth: right.Schema().Len(),
-	}, nil
+	j := &HashJoinOp{schema: schema, buildIsLeft: buildLeft}
+	if buildLeft {
+		j.probe, j.probeCols = right, rpos
+		j.buildSrc, j.buildCols = left, lpos
+	} else {
+		j.probe, j.probeCols = left, lpos
+		j.buildSrc, j.buildCols = right, rpos
+	}
+	return j, nil
 }
 
-func joinKey(r Row, pos []int) (string, bool) {
-	k := ""
+// appendJoinKey builds the join key for a row into dst; ok is false when any
+// key column is NULL (NULL keys never match).
+func appendJoinKey(dst []byte, r Row, pos []int) (_ []byte, ok bool) {
 	for _, p := range pos {
 		if r[p].IsNull() {
-			return "", true
+			return dst, false
 		}
-		k += r[p].Key() + "\x1f"
+		dst = r[p].AppendKey(dst)
+		dst = append(dst, '\x1f')
 	}
-	return k, false
+	return dst, true
 }
 
 // Schema implements Iterator.
@@ -223,24 +282,45 @@ func (j *HashJoinOp) Schema() *Schema { return j.schema }
 
 // Next implements Iterator.
 func (j *HashJoinOp) Next() (Row, bool) {
+	if !j.built {
+		j.buildRows = make(map[string][]Row)
+		for {
+			r, ok := j.buildSrc.Next()
+			if !ok {
+				break
+			}
+			key, ok := appendJoinKey(j.keyBuf[:0], r, j.buildCols)
+			j.keyBuf = key
+			if !ok {
+				continue
+			}
+			j.buildRows[string(key)] = append(j.buildRows[string(key)], r)
+		}
+		j.built = true
+	}
 	for {
 		if len(j.pending) > 0 {
 			r := j.pending[0]
 			j.pending = j.pending[1:]
 			return r, true
 		}
-		l, ok := j.probe.Next()
+		p, ok := j.probe.Next()
 		if !ok {
 			return nil, false
 		}
-		key, null := joinKey(l, j.probeCols)
-		if null {
+		key, ok := appendJoinKey(j.keyBuf[:0], p, j.probeCols)
+		j.keyBuf = key
+		if !ok {
 			continue
 		}
-		for _, b := range j.buildRows[key] {
-			out := make(Row, 0, len(l)+len(b))
+		for _, b := range j.buildRows[string(key)] {
+			l, r := p, b
+			if j.buildIsLeft {
+				l, r = b, p
+			}
+			out := make(Row, 0, len(l)+len(r))
 			out = append(out, l...)
-			out = append(out, b...)
+			out = append(out, r...)
 			j.pending = append(j.pending, out)
 		}
 	}
@@ -476,6 +556,7 @@ func (g *GroupOp) run() {
 	}
 	groups := make(map[string]*group)
 	var order []string
+	var keyBuf []byte
 	sawAny := false
 	for {
 		r, ok := g.in.Next()
@@ -483,12 +564,14 @@ func (g *GroupOp) run() {
 			break
 		}
 		sawAny = true
-		key := ""
+		keyBuf = keyBuf[:0]
 		keyRow := make(Row, len(g.groupPos))
 		for i, p := range g.groupPos {
-			key += r[p].Key() + "\x1f"
+			keyBuf = r[p].AppendKey(keyBuf)
+			keyBuf = append(keyBuf, '\x1f')
 			keyRow[i] = r[p]
 		}
+		key := string(keyBuf)
 		grp, ok := groups[key]
 		if !ok {
 			grp = &group{key: keyRow, states: make([]aggState, len(g.aggs))}
@@ -566,8 +649,9 @@ func (g *GroupOp) run() {
 
 // DistinctOp removes duplicate rows (by full-row key).
 type DistinctOp struct {
-	in   Iterator
-	seen map[string]struct{}
+	in     Iterator
+	seen   map[string]struct{}
+	keyBuf []byte
 }
 
 // NewDistinct wraps an iterator with duplicate elimination.
@@ -585,14 +669,15 @@ func (d *DistinctOp) Next() (Row, bool) {
 		if !ok {
 			return nil, false
 		}
-		k := ""
+		d.keyBuf = d.keyBuf[:0]
 		for _, v := range r {
-			k += v.Key() + "\x1f"
+			d.keyBuf = v.AppendKey(d.keyBuf)
+			d.keyBuf = append(d.keyBuf, '\x1f')
 		}
-		if _, dup := d.seen[k]; dup {
+		if _, dup := d.seen[string(d.keyBuf)]; dup {
 			continue
 		}
-		d.seen[k] = struct{}{}
+		d.seen[string(d.keyBuf)] = struct{}{}
 		return r, true
 	}
 }

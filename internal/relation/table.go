@@ -133,27 +133,42 @@ func (t *Table) Update(id RowID, r Row) error {
 }
 
 // Scan calls fn for each live row in insertion order; returning false stops
-// the scan. The row must not be mutated.
+// the scan. The row must not be mutated. The scan observes a snapshot taken
+// under one RLock; rows inserted or deleted while fn runs are not reflected.
+type scanEntry struct {
+	id RowID
+	r  Row
+}
+
 func (t *Table) Scan(fn func(id RowID, r Row) bool) {
 	t.mu.RLock()
-	ids := make([]RowID, 0, len(t.rows))
+	snap := make([]scanEntry, 0, len(t.rows))
 	for _, id := range t.order {
-		if _, ok := t.rows[id]; ok {
-			ids = append(ids, id)
+		if r, ok := t.rows[id]; ok {
+			snap = append(snap, scanEntry{id: id, r: r})
 		}
 	}
 	t.mu.RUnlock()
-	for _, id := range ids {
-		t.mu.RLock()
-		r, ok := t.rows[id]
-		t.mu.RUnlock()
-		if !ok {
-			continue
-		}
-		if !fn(id, r) {
+	for _, e := range snap {
+		if !fn(e.id, e.r) {
 			return
 		}
 	}
+}
+
+// RowsByIDs returns the live rows among ids in the given order, resolving
+// every id under a single RLock. Index access paths use it to fetch the rows
+// an index lookup produced.
+func (t *Table) RowsByIDs(ids []RowID) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Row, 0, len(ids))
+	for _, id := range ids {
+		if r, ok := t.rows[id]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Rows returns a snapshot of all live rows in insertion order.
@@ -182,7 +197,7 @@ func (t *Table) CreateHashIndex(cols ...string) (*HashIndex, error) {
 	if ix, ok := t.indexes[key]; ok {
 		return ix, nil
 	}
-	ix := newHashIndex(positions)
+	ix := newHashIndex(cols, positions)
 	for _, id := range t.order {
 		if r, ok := t.rows[id]; ok {
 			ix.add(id, r)
@@ -205,7 +220,7 @@ func (t *Table) CreateOrderedIndex(col string) (*OrderedIndex, error) {
 	if ix, ok := t.ordered[key]; ok {
 		return ix, nil
 	}
-	ix := newOrderedIndex(positions[0])
+	ix := newOrderedIndex(col, positions[0])
 	for _, id := range t.order {
 		if r, ok := t.rows[id]; ok {
 			ix.add(id, r)
@@ -221,6 +236,44 @@ func (t *Table) HashIndexOn(cols ...string) (*HashIndex, bool) {
 	defer t.mu.RUnlock()
 	ix, ok := t.indexes[indexKey(cols)]
 	return ix, ok
+}
+
+// OrderedIndexOn returns the ordered index over the given column, if present.
+func (t *Table) OrderedIndexOn(col string) (*OrderedIndex, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.ordered[indexKey([]string{col})]
+	return ix, ok
+}
+
+// HashIndexColumns lists the column sets of the table's hash indexes, sorted
+// widest-first so planners can prefer the most selective covering index.
+func (t *Table) HashIndexColumns() [][]string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([][]string, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, append([]string(nil), ix.cols...))
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) > len(out[b])
+		}
+		return indexKey(out[a]) < indexKey(out[b])
+	})
+	return out
+}
+
+// OrderedIndexColumns lists the columns carrying ordered indexes, sorted.
+func (t *Table) OrderedIndexColumns() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.ordered))
+	for _, ix := range t.ordered {
+		out = append(out, ix.col)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (t *Table) resolve(cols []string) ([]int, error) {
@@ -249,33 +302,46 @@ func indexKey(cols []string) string {
 // HashIndex is an equality index over one or more columns.
 type HashIndex struct {
 	mu        sync.RWMutex
+	cols      []string
 	positions []int
 	buckets   map[string][]RowID
+	keyBuf    []byte // reused under mu for add/remove key building
 }
 
-func newHashIndex(positions []int) *HashIndex {
-	return &HashIndex{positions: positions, buckets: make(map[string][]RowID)}
-}
-
-func (ix *HashIndex) keyFor(r Row) string {
-	k := ""
-	for _, p := range ix.positions {
-		k += r[p].Key() + "\x1f"
+func newHashIndex(cols []string, positions []int) *HashIndex {
+	return &HashIndex{
+		cols:      append([]string(nil), cols...),
+		positions: positions,
+		buckets:   make(map[string][]RowID),
 	}
-	return k
+}
+
+// Columns returns the indexed column names.
+func (ix *HashIndex) Columns() []string { return append([]string(nil), ix.cols...) }
+
+// appendRowKey builds the bucket key for a row into dst. Callers must hold
+// ix.mu when dst is ix.keyBuf.
+func (ix *HashIndex) appendRowKey(dst []byte, r Row) []byte {
+	for _, p := range ix.positions {
+		dst = r[p].AppendKey(dst)
+		dst = append(dst, '\x1f')
+	}
+	return dst
 }
 
 func (ix *HashIndex) add(id RowID, r Row) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	k := ix.keyFor(r)
+	ix.keyBuf = ix.appendRowKey(ix.keyBuf[:0], r)
+	k := string(ix.keyBuf)
 	ix.buckets[k] = append(ix.buckets[k], id)
 }
 
 func (ix *HashIndex) remove(id RowID, r Row) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	k := ix.keyFor(r)
+	ix.keyBuf = ix.appendRowKey(ix.keyBuf[:0], r)
+	k := string(ix.keyBuf) // map delete below needs a real string key
 	ids := ix.buckets[k]
 	for i, candidate := range ids {
 		if candidate == id {
@@ -293,13 +359,19 @@ func (ix *HashIndex) Lookup(vals ...Value) []RowID {
 	if len(vals) != len(ix.positions) {
 		return nil
 	}
-	k := ""
+	var arr [64]byte
+	k := arr[:0]
 	for _, v := range vals {
-		k += v.Key() + "\x1f"
+		k = v.AppendKey(k)
+		k = append(k, '\x1f')
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return append([]RowID(nil), ix.buckets[k]...)
+	ids := ix.buckets[string(k)] // string(k) in a map index does not allocate
+	if len(ids) == 0 {
+		return nil
+	}
+	return append([]RowID(nil), ids...)
 }
 
 // OrderedIndex is a sorted single-column index supporting range scans. It is
@@ -307,6 +379,7 @@ func (ix *HashIndex) Lookup(vals ...Value) []RowID {
 // workloads FlorDB serves (append-mostly logs), this is simple and fast.
 type OrderedIndex struct {
 	mu      sync.RWMutex
+	col     string
 	pos     int
 	entries []orderedEntry
 }
@@ -316,7 +389,12 @@ type orderedEntry struct {
 	id RowID
 }
 
-func newOrderedIndex(pos int) *OrderedIndex { return &OrderedIndex{pos: pos} }
+func newOrderedIndex(col string, pos int) *OrderedIndex {
+	return &OrderedIndex{col: col, pos: pos}
+}
+
+// Column returns the indexed column name.
+func (ix *OrderedIndex) Column() string { return ix.col }
 
 func (ix *OrderedIndex) add(id RowID, r Row) {
 	ix.mu.Lock()
@@ -359,6 +437,41 @@ func (ix *OrderedIndex) Range(lo, hi Value) []RowID {
 	for i := start; i < len(ix.entries); i++ {
 		if !hi.IsNull() && Compare(ix.entries[i].v, hi) > 0 {
 			break
+		}
+		out = append(out, ix.entries[i].id)
+	}
+	return out
+}
+
+// RangeBounds returns RowIDs whose value falls within the given bounds in
+// ascending value order, with per-bound inclusivity. A NULL bound means
+// unbounded on that side. Unlike Range, NULL-valued entries are never
+// returned: SQL range predicates (<, <=, >, >=, BETWEEN) do not match NULL.
+func (ix *OrderedIndex) RangeBounds(lo, hi Value, loIncl, hiIncl bool) []RowID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var start int
+	if lo.IsNull() {
+		// Unbounded below: skip the NULL run at the front of the entries.
+		start = sort.Search(len(ix.entries), func(i int) bool {
+			return !ix.entries[i].v.IsNull()
+		})
+	} else {
+		start = sort.Search(len(ix.entries), func(i int) bool {
+			c := Compare(ix.entries[i].v, lo)
+			if loIncl {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	var out []RowID
+	for i := start; i < len(ix.entries); i++ {
+		if !hi.IsNull() {
+			c := Compare(ix.entries[i].v, hi)
+			if c > 0 || (c == 0 && !hiIncl) {
+				break
+			}
 		}
 		out = append(out, ix.entries[i].id)
 	}

@@ -252,23 +252,39 @@ func Equal(a, b Value) bool {
 // with Compare(a,b)==0 share a key. NULLs get a distinct sentinel key so
 // GROUP BY can place them in one group (SQL groups NULLs together).
 func (v Value) Key() string {
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends the value's hash key (the same bytes Key returns) to dst
+// and returns the extended slice. Hot paths — index maintenance, join and
+// group-by key building — use it to assemble multi-column keys in a single
+// reusable buffer instead of concatenating per-value strings.
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.typ {
 	case TNull:
-		return "\x00N"
+		return append(dst, '\x00', 'N')
 	case TText:
-		return "\x01" + v.s
+		dst = append(dst, '\x01')
+		return append(dst, v.s...)
 	case TInt:
-		return "\x02" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+		// Ints share the numeric key space with floats so that Int(5) and
+		// Float(5) group/join together, matching Compare.
+		dst = append(dst, '\x02')
+		return strconv.AppendFloat(dst, float64(v.i), 'g', -1, 64)
 	case TFloat:
-		return "\x02" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		dst = append(dst, '\x02')
+		return strconv.AppendFloat(dst, v.f, 'g', -1, 64)
 	case TBool:
-		return "\x03" + strconv.FormatInt(v.i, 10)
+		dst = append(dst, '\x03')
+		return strconv.AppendInt(dst, v.i, 10)
 	case TTime:
-		return "\x04" + strconv.FormatInt(v.t.UnixNano(), 10)
+		dst = append(dst, '\x04')
+		return strconv.AppendInt(dst, v.t.UnixNano(), 10)
 	case TBlob:
-		return "\x05" + string(v.blob)
+		dst = append(dst, '\x05')
+		return append(dst, v.blob...)
 	default:
-		return "\x06"
+		return append(dst, '\x06')
 	}
 }
 

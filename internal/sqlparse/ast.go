@@ -186,6 +186,9 @@ type OrderItem struct {
 
 // SelectStmt is the root of a parsed query.
 type SelectStmt struct {
+	// Explain marks an EXPLAIN SELECT: the statement is planned but not
+	// executed, and the result is the rendered plan (one text row per line).
+	Explain  bool
 	Distinct bool
 	Items    []SelectItem // empty means SELECT *
 	From     TableRef

@@ -22,67 +22,69 @@ func Run(db *relation.Database, query string) (*Result, error) {
 	return Execute(db, stmt)
 }
 
-// Execute runs a parsed statement against the database.
+// Execute runs a parsed statement against the database using the query
+// planner (index-backed access paths, predicate pushdown below joins). An
+// EXPLAIN statement returns the rendered plan instead of rows.
 func Execute(db *relation.Database, stmt *SelectStmt) (*Result, error) {
-	in, err := buildInput(db, stmt)
+	return execute(db, stmt, false)
+}
+
+// ExecuteScan runs a parsed statement with the planner disabled: every table
+// is fully scanned and the WHERE clause filters the joined stream post hoc.
+// It is the reference implementation the planner is property-tested against
+// and the baseline the C8–C10 benchmarks measure.
+func ExecuteScan(db *relation.Database, stmt *SelectStmt) (*Result, error) {
+	return execute(db, stmt, true)
+}
+
+func execute(db *relation.Database, stmt *SelectStmt, naive bool) (*Result, error) {
+	ctx := &execCtx{}
+	in, inNode, err := planInput(db, stmt, ctx, naive)
 	if err != nil {
 		return nil, err
 	}
 
-	if stmt.Where != nil {
-		in, err = applyFilter(in, stmt.Where)
-		if err != nil {
-			return nil, err
-		}
-	}
-
+	var c *compiled
 	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
-		return executeAggregate(in, stmt)
+		c, err = compileAggregate(in, inNode, stmt, ctx)
+	} else {
+		if stmt.Having != nil {
+			return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+		}
+		c, err = compileSimple(in, inNode, stmt, ctx)
 	}
-	if stmt.Having != nil {
-		return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
-	}
-	return executeSimple(in, stmt)
-}
-
-// buildInput constructs the FROM/JOIN pipeline.
-func buildInput(db *relation.Database, stmt *SelectStmt) (relation.Iterator, error) {
-	it, err := sourceFor(db, stmt.From)
 	if err != nil {
 		return nil, err
 	}
-	for _, j := range stmt.Joins {
-		right, err := sourceFor(db, j.Table)
-		if err != nil {
-			return nil, err
-		}
-		leftCols, rightCols, residual, err := splitJoinOn(j.On, it.Schema(), right.Schema(), j.Table.Binding())
-		if err != nil {
-			return nil, err
-		}
-		joined, err := relation.NewHashJoin(it, right, leftCols, rightCols, j.Table.Binding())
-		if err != nil {
-			return nil, err
-		}
-		it = joined
-		if residual != nil {
-			it, err = applyFilter(it, residual)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	return it, nil
-}
 
-// sourceFor opens a table and, when aliased, renames its columns to carry
-// the alias qualifier so references like "t.col" resolve after joins.
-func sourceFor(db *relation.Database, tr TableRef) (relation.Iterator, error) {
-	it, err := db.Source(tr.Name)
-	if err != nil {
+	if stmt.Explain {
+		lines := c.plan.Lines()
+		rows := make([]relation.Row, len(lines))
+		for i, l := range lines {
+			rows[i] = relation.Row{relation.Text(l)}
+		}
+		return &Result{Columns: []string{"plan"}, Rows: rows}, nil
+	}
+
+	rows := relation.Collect(c.it)
+	if err := ctx.firstErr(); err != nil {
 		return nil, err
 	}
-	return it, nil
+	if c.hidden > 0 {
+		for i, r := range rows {
+			rows[i] = r[:len(c.columns)]
+		}
+	}
+	return &Result{Columns: c.columns, Rows: rows}, nil
+}
+
+// compiled is a fully planned statement: the operator pipeline, the plan tree
+// describing it, and the output shape.
+type compiled struct {
+	it      relation.Iterator
+	plan    *PlanNode
+	columns []string // visible output columns
+	hidden  int      // trailing hidden sort columns to strip
 }
 
 // splitJoinOn decomposes an ON clause that is a conjunction of equality
@@ -148,45 +150,8 @@ func flattenAnd(e Expr) []Expr {
 	return []Expr{e}
 }
 
-func applyFilter(in relation.Iterator, pred Expr) (relation.Iterator, error) {
-	b := binder{schema: in.Schema()}
-	f, err := b.compile(pred)
-	if err != nil {
-		return nil, err
-	}
-	var evalErr error
-	out := relation.NewFilter(in, func(r relation.Row) bool {
-		if evalErr != nil {
-			return false
-		}
-		v, err := f(r)
-		if err != nil {
-			evalErr = err
-			return false
-		}
-		if v.IsNull() {
-			return false
-		}
-		tb, err := truthy(v)
-		if err != nil {
-			evalErr = err
-			return false
-		}
-		return tb
-	})
-	return &errIterator{Iterator: out, err: &evalErr}, nil
-}
-
-// errIterator surfaces deferred evaluation errors by panicking at Collect
-// time would be rude; instead it truncates the stream and the executor
-// checks the error afterward via the shared pointer.
-type errIterator struct {
-	relation.Iterator
-	err *error
-}
-
-// executeSimple handles the non-aggregate path.
-func executeSimple(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
+// compileSimple handles the non-aggregate path.
+func compileSimple(in relation.Iterator, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx) (*compiled, error) {
 	b := binder{schema: in.Schema()}
 
 	// Output expressions.
@@ -207,12 +172,13 @@ func executeSimple(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 			}
 			name := item.OutputName()
 			typ := inferType(item.Expr, in.Schema())
-			var capturedErr error
+			capturedErr := new(error)
+			ctx.register(capturedErr)
 			ff := f
 			exprs = append(exprs, relation.ProjExpr{Name: name, Type: typ, Eval: func(r relation.Row) relation.Value {
 				v, err := ff(r)
-				if err != nil && capturedErr == nil {
-					capturedErr = err
+				if err != nil && *capturedErr == nil {
+					*capturedErr = err
 				}
 				return v
 			}})
@@ -231,9 +197,11 @@ func executeSimple(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 		outNames[strings.ToLower(v)] = true
 	}
 	sortKeys := make([]relation.SortKey, 0, len(stmt.OrderBy))
+	sortDisplay := make([]string, 0, len(stmt.OrderBy))
 	for i, oi := range stmt.OrderBy {
 		if cr, ok := oi.Expr.(*ColumnRef); ok && cr.Table == "" && outNames[strings.ToLower(cr.Name)] {
 			sortKeys = append(sortKeys, relation.SortKey{Col: cr.Name, Desc: oi.Desc})
+			sortDisplay = append(sortDisplay, orderItemSQL(oi))
 			continue
 		}
 		name := fmt.Sprintf("__sort%d", i)
@@ -248,6 +216,7 @@ func executeSimple(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 		}})
 		hiddens = append(hiddens, hidden{name: name, item: oi})
 		sortKeys = append(sortKeys, relation.SortKey{Col: name, Desc: oi.Desc})
+		sortDisplay = append(sortDisplay, orderItemSQL(oi))
 	}
 	if stmt.Distinct && len(hiddens) > 0 {
 		return nil, fmt.Errorf("sql: ORDER BY with DISTINCT must reference selected columns")
@@ -258,35 +227,51 @@ func executeSimple(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 		return nil, err
 	}
 	var it relation.Iterator = proj
+	node := &PlanNode{Op: "Project", Detail: "[" + strings.Join(visible, ", ") + "]", Children: []*PlanNode{inNode}}
 	if stmt.Distinct {
 		it = relation.NewDistinct(it)
+		node = &PlanNode{Op: "Distinct", Children: []*PlanNode{node}}
 	}
 	if len(sortKeys) > 0 {
 		it, err = relation.NewSort(it, sortKeys)
 		if err != nil {
 			return nil, err
 		}
+		node = &PlanNode{Op: "Sort", Detail: "[" + strings.Join(sortDisplay, ", ") + "]", Children: []*PlanNode{node}}
 	}
 	if stmt.Limit >= 0 || stmt.Offset > 0 {
 		it = relation.NewLimit(it, stmt.Limit, stmt.Offset)
+		node = &PlanNode{Op: "Limit", Detail: limitDetail(stmt), Children: []*PlanNode{node}}
 	}
-	rows := relation.Collect(it)
-	if ei, ok := in.(*errIterator); ok && *ei.err != nil {
-		return nil, *ei.err
-	}
-	// Strip hidden columns.
-	if len(hiddens) > 0 {
-		for i, r := range rows {
-			rows[i] = r[:len(visible)]
-		}
-	}
-	return &Result{Columns: visible, Rows: rows}, nil
+	return &compiled{it: it, plan: node, columns: visible, hidden: len(hiddens)}, nil
 }
 
-// executeAggregate handles GROUP BY / aggregate queries by (1) pre-projecting
+func orderItemSQL(oi OrderItem) string {
+	s := oi.Expr.SQL()
+	if oi.Desc {
+		s += " DESC"
+	}
+	return s
+}
+
+func limitDetail(stmt *SelectStmt) string {
+	d := ""
+	if stmt.Limit >= 0 {
+		d = fmt.Sprintf("%d", stmt.Limit)
+	}
+	if stmt.Offset > 0 {
+		if d != "" {
+			d += " "
+		}
+		d += fmt.Sprintf("OFFSET %d", stmt.Offset)
+	}
+	return d
+}
+
+// compileAggregate handles GROUP BY / aggregate queries by (1) pre-projecting
 // group keys and aggregate arguments, (2) hash aggregation, (3) rewriting the
 // select list, HAVING and ORDER BY to reference the aggregated schema.
-func executeAggregate(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
+func compileAggregate(in relation.Iterator, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx) (*compiled, error) {
 	b := binder{schema: in.Schema()}
 
 	// Collect aggregate calls from select items, HAVING and ORDER BY.
@@ -315,8 +300,13 @@ func executeAggregate(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 			return nil, err
 		}
 		ff := f
+		capturedErr := new(error)
+		ctx.register(capturedErr)
 		pre = append(pre, relation.ProjExpr{Name: name, Type: inferType(ge, in.Schema()), Eval: func(r relation.Row) relation.Value {
-			v, _ := ff(r)
+			v, err := ff(r)
+			if err != nil && *capturedErr == nil {
+				*capturedErr = err
+			}
 			return v
 		}})
 		groupCols[i] = name
@@ -355,8 +345,13 @@ func executeAggregate(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 			return nil, err
 		}
 		ff := f
+		capturedErr := new(error)
+		ctx.register(capturedErr)
 		pre = append(pre, relation.ProjExpr{Name: argName, Type: inferType(call.Args[0], in.Schema()), Eval: func(r relation.Row) relation.Value {
-			v, _ := ff(r)
+			v, err := ff(r)
+			if err != nil && *capturedErr == nil {
+				*capturedErr = err
+			}
 			return v
 		}})
 		spec.Col = argName
@@ -371,16 +366,18 @@ func executeAggregate(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	node := &PlanNode{Op: "Aggregate", Detail: aggDetail(groupCols, rw.calls), Children: []*PlanNode{inNode}}
 
 	// Post-aggregation binder over the grouped schema.
 	gb := binder{schema: grouped.Schema()}
 	var out relation.Iterator = grouped
 	if stmt.Having != nil {
 		hexpr := rw.rewrite(stmt.Having, groupSQL)
-		out, err = applyHavingFilter(out, gb, hexpr)
+		out, err = applyFilter(ctx, out, hexpr)
 		if err != nil {
 			return nil, err
 		}
+		node = &PlanNode{Op: "Filter", Detail: "HAVING " + stmt.Having.SQL(), Children: []*PlanNode{node}}
 	}
 
 	if len(stmt.Items) == 0 {
@@ -395,14 +392,20 @@ func executeAggregate(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 			return nil, fmt.Errorf("%w (non-aggregated column in aggregate query?)", err)
 		}
 		ff := f
+		capturedErr := new(error)
+		ctx.register(capturedErr)
 		name := item.OutputName()
 		exprs = append(exprs, relation.ProjExpr{Name: name, Type: inferType(re, grouped.Schema()), Eval: func(r relation.Row) relation.Value {
-			v, _ := ff(r)
+			v, err := ff(r)
+			if err != nil && *capturedErr == nil {
+				*capturedErr = err
+			}
 			return v
 		}})
 		visible = append(visible, name)
 	}
 	sortKeys := make([]relation.SortKey, 0, len(stmt.OrderBy))
+	sortDisplay := make([]string, 0, len(stmt.OrderBy))
 	var nHidden int
 	outNames := map[string]bool{}
 	for _, v := range visible {
@@ -411,6 +414,7 @@ func executeAggregate(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 	for i, oi := range stmt.OrderBy {
 		if cr, ok := oi.Expr.(*ColumnRef); ok && cr.Table == "" && outNames[strings.ToLower(cr.Name)] {
 			sortKeys = append(sortKeys, relation.SortKey{Col: cr.Name, Desc: oi.Desc})
+			sortDisplay = append(sortDisplay, orderItemSQL(oi))
 			continue
 		}
 		re := rw.rewrite(oi.Expr, groupSQL)
@@ -426,6 +430,7 @@ func executeAggregate(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 		}})
 		nHidden++
 		sortKeys = append(sortKeys, relation.SortKey{Col: name, Desc: oi.Desc})
+		sortDisplay = append(sortDisplay, orderItemSQL(oi))
 	}
 
 	post, err := relation.NewProject(out, exprs)
@@ -433,43 +438,41 @@ func executeAggregate(in relation.Iterator, stmt *SelectStmt) (*Result, error) {
 		return nil, err
 	}
 	var final relation.Iterator = post
+	node = &PlanNode{Op: "Project", Detail: "[" + strings.Join(visible, ", ") + "]", Children: []*PlanNode{node}}
 	if stmt.Distinct {
 		if nHidden > 0 {
 			return nil, fmt.Errorf("sql: ORDER BY with DISTINCT must reference selected columns")
 		}
 		final = relation.NewDistinct(final)
+		node = &PlanNode{Op: "Distinct", Children: []*PlanNode{node}}
 	}
 	if len(sortKeys) > 0 {
 		final, err = relation.NewSort(final, sortKeys)
 		if err != nil {
 			return nil, err
 		}
+		node = &PlanNode{Op: "Sort", Detail: "[" + strings.Join(sortDisplay, ", ") + "]", Children: []*PlanNode{node}}
 	}
 	if stmt.Limit >= 0 || stmt.Offset > 0 {
 		final = relation.NewLimit(final, stmt.Limit, stmt.Offset)
+		node = &PlanNode{Op: "Limit", Detail: limitDetail(stmt), Children: []*PlanNode{node}}
 	}
-	rows := relation.Collect(final)
-	if nHidden > 0 {
-		for i, r := range rows {
-			rows[i] = r[:len(visible)]
-		}
-	}
-	return &Result{Columns: visible, Rows: rows}, nil
+	return &compiled{it: final, plan: node, columns: visible, hidden: nHidden}, nil
 }
 
-func applyHavingFilter(in relation.Iterator, b binder, pred Expr) (relation.Iterator, error) {
-	f, err := b.compile(pred)
-	if err != nil {
-		return nil, err
+func aggDetail(groupCols []string, calls []*FuncCall) string {
+	var parts []string
+	if len(groupCols) > 0 {
+		parts = append(parts, "group by ["+strings.Join(groupCols, ", ")+"]")
 	}
-	return relation.NewFilter(in, func(r relation.Row) bool {
-		v, err := f(r)
-		if err != nil || v.IsNull() {
-			return false
-		}
-		tb, err := truthy(v)
-		return err == nil && tb
-	}), nil
+	aggs := make([]string, len(calls))
+	for i, c := range calls {
+		aggs[i] = c.SQL()
+	}
+	if len(aggs) > 0 {
+		parts = append(parts, "aggs ["+strings.Join(aggs, ", ")+"]")
+	}
+	return strings.Join(parts, " ")
 }
 
 // aggRewriter collects aggregate FuncCalls and rewrites expressions to

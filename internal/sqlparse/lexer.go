@@ -40,7 +40,7 @@ var keywords = map[string]bool{
 	"OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
 	"JOIN": true, "ON": true, "INNER": true, "LIKE": true, "IS": true,
 	"ASC": true, "DESC": true, "DISTINCT": true, "HAVING": true,
-	"IN": true, "BETWEEN": true,
+	"IN": true, "BETWEEN": true, "EXPLAIN": true,
 }
 
 // Lex tokenizes a SQL string. It returns an error with byte position for

@@ -15,10 +15,12 @@ func Parse(input string) (*SelectStmt, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	explain := p.accept(TokKeyword, "EXPLAIN")
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
+	stmt.Explain = explain
 	if !p.at(TokEOF, "") {
 		return nil, p.errf("unexpected trailing input %q", p.cur().Text)
 	}

@@ -1,0 +1,695 @@
+// Query planning. The planner is rule-based: it decomposes the WHERE clause
+// into AND-ed conjuncts, pushes every single-table conjunct below the joins to
+// the table it references, and picks an access path per base table —
+// hash-index lookup for equality/IN predicates, ordered-index range scan for
+// range predicates, full scan as the fallback — with the unconsumed residual
+// applied as a filter over the narrowed stream. Joins materialize the smaller
+// estimated input as the hash-build side. EXPLAIN renders the chosen plan
+// tree without executing it (all access paths materialize lazily).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"flordb/internal/relation"
+)
+
+// PlanNode is one operator of a chosen query plan, used by EXPLAIN.
+type PlanNode struct {
+	Op       string // Scan, IndexLookup, IndexRange, Filter, HashJoin, ...
+	Detail   string
+	Children []*PlanNode
+}
+
+// Lines renders the plan tree as indented text, one operator per line.
+func (n *PlanNode) Lines() []string {
+	var out []string
+	n.render(&out, 0)
+	return out
+}
+
+func (n *PlanNode) render(out *[]string, depth int) {
+	line := strings.Repeat("  ", depth) + n.Op
+	if n.Detail != "" {
+		line += " " + n.Detail
+	}
+	*out = append(*out, line)
+	for _, c := range n.Children {
+		c.render(out, depth+1)
+	}
+}
+
+// String renders the plan as one newline-joined string.
+func (n *PlanNode) String() string { return strings.Join(n.Lines(), "\n") }
+
+// execCtx threads deferred evaluation errors through a query pipeline. Filter
+// and projection closures cannot return errors through the Iterator
+// interface, so each registers an error slot here and the executor checks
+// every slot after the stream is drained — including slots buried under
+// joins, which the previous executor silently dropped.
+type execCtx struct {
+	errPtrs []*error
+}
+
+func (c *execCtx) register(p *error) { c.errPtrs = append(c.errPtrs, p) }
+
+func (c *execCtx) firstErr() error {
+	for _, p := range c.errPtrs {
+		if *p != nil {
+			return *p
+		}
+	}
+	return nil
+}
+
+// applyFilter wraps in with a predicate compiled from pred; evaluation errors
+// are registered on ctx and surfaced after execution.
+func applyFilter(ctx *execCtx, in relation.Iterator, pred Expr) (relation.Iterator, error) {
+	b := binder{schema: in.Schema()}
+	f, err := b.compile(pred)
+	if err != nil {
+		return nil, err
+	}
+	evalErr := new(error)
+	ctx.register(evalErr)
+	return relation.NewFilter(in, func(r relation.Row) bool {
+		if *evalErr != nil {
+			return false
+		}
+		v, err := f(r)
+		if err != nil {
+			*evalErr = err
+			return false
+		}
+		if v.IsNull() {
+			return false
+		}
+		tb, err := truthy(v)
+		if err != nil {
+			*evalErr = err
+			return false
+		}
+		return tb
+	}), nil
+}
+
+// planInput builds the FROM/JOIN/WHERE pipeline. With naive=true it performs
+// no pushdown and no index access-path selection (the pre-planner behavior:
+// full scans joined, WHERE filtered on top) — the reference implementation
+// the planner is property-tested against and benchmarked as the baseline.
+func planInput(db *relation.Database, stmt *SelectStmt, ctx *execCtx, naive bool) (relation.Iterator, *PlanNode, error) {
+	sources := make([]TableRef, 0, 1+len(stmt.Joins))
+	sources = append(sources, stmt.From)
+	for _, j := range stmt.Joins {
+		sources = append(sources, j.Table)
+	}
+
+	// Simulate the joined schema to attribute each output column to the
+	// source it comes from; this mirrors relation.Concat's collision
+	// renaming exactly, so pushdown resolution matches the runtime binder.
+	schemas := make([]*relation.Schema, len(sources))
+	for i, ref := range sources {
+		s, err := db.SchemaOf(ref.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		schemas[i] = s
+	}
+	combined := schemas[0]
+	owner := make([]int, 0, combined.Len())
+	for i := 0; i < combined.Len(); i++ {
+		owner = append(owner, 0)
+	}
+	for k := 1; k < len(sources); k++ {
+		var err error
+		combined, err = relation.Concat(combined, schemas[k], sources[k].Binding())
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < schemas[k].Len(); i++ {
+			owner = append(owner, k)
+		}
+	}
+
+	// Split WHERE into conjuncts and push each single-source conjunct down
+	// to its source; the rest stay above the joins.
+	var conjuncts []Expr
+	if stmt.Where != nil {
+		conjuncts = flattenAnd(stmt.Where)
+	}
+	pushed := make([][]Expr, len(sources))
+	var retained []Expr
+	for _, c := range conjuncts {
+		src := -1
+		if !naive {
+			src = conjunctOwner(c, combined, owner)
+		}
+		if src >= 0 {
+			pushed[src] = append(pushed[src], c)
+		} else {
+			retained = append(retained, c)
+		}
+	}
+
+	it, node, est, err := planSource(db, sources[0], pushed[0], ctx, naive)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	for k, j := range stmt.Joins {
+		right, rightNode, rightEst, err := planSource(db, sources[k+1], pushed[k+1], ctx, naive)
+		if err != nil {
+			return nil, nil, err
+		}
+		leftCols, rightCols, residual, err := splitJoinOn(j.On, it.Schema(), right.Schema(), j.Table.Binding())
+		if err != nil {
+			return nil, nil, err
+		}
+		// Build on the smaller estimated input; unknown (-1) loses to known.
+		buildLeft := !naive && est >= 0 && (rightEst < 0 || est < rightEst)
+		joined, err := relation.NewHashJoinBuildSide(it, right, leftCols, rightCols, j.Table.Binding(), buildLeft)
+		if err != nil {
+			return nil, nil, err
+		}
+		it = joined
+		node = &PlanNode{
+			Op:       "HashJoin",
+			Detail:   joinDetail(leftCols, rightCols, buildLeft),
+			Children: []*PlanNode{node, rightNode},
+		}
+		if est < 0 || rightEst < 0 {
+			est = -1
+		} else if rightEst > est {
+			est = rightEst
+		}
+		if residual != nil {
+			it, err = applyFilter(ctx, it, residual)
+			if err != nil {
+				return nil, nil, err
+			}
+			node = &PlanNode{Op: "Filter", Detail: residual.SQL(), Children: []*PlanNode{node}}
+		}
+	}
+
+	if len(retained) > 0 {
+		pred := combineAnd(retained)
+		var err error
+		it, err = applyFilter(ctx, it, pred)
+		if err != nil {
+			return nil, nil, err
+		}
+		node = &PlanNode{Op: "Filter", Detail: pred.SQL(), Children: []*PlanNode{node}}
+	}
+	return it, node, nil
+}
+
+func joinDetail(leftCols, rightCols []string, buildLeft bool) string {
+	parts := make([]string, len(leftCols))
+	for i := range leftCols {
+		parts[i] = leftCols[i] + " = " + rightCols[i]
+	}
+	side := "right"
+	if buildLeft {
+		side = "left"
+	}
+	return "on (" + strings.Join(parts, ", ") + ") build=" + side
+}
+
+// conjunctOwner returns the index of the single source every column reference
+// in c resolves to, or -1 when c touches several sources (or none, or an
+// unknown column — those stay above the join and error there if truly bad).
+func conjunctOwner(c Expr, combined *relation.Schema, owner []int) int {
+	src := -1
+	ok := true
+	walkColumnRefs(c, func(ref *ColumnRef) {
+		if !ok {
+			return
+		}
+		pos := -1
+		if ref.Table != "" {
+			pos = combined.Index(ref.Table + "." + ref.Name)
+		}
+		if pos < 0 {
+			pos = combined.Index(ref.Name)
+		}
+		if pos < 0 {
+			ok = false
+			return
+		}
+		if src == -1 {
+			src = owner[pos]
+		} else if src != owner[pos] {
+			ok = false
+		}
+	})
+	if !ok {
+		return -1
+	}
+	return src
+}
+
+func walkColumnRefs(e Expr, fn func(*ColumnRef)) {
+	switch x := e.(type) {
+	case *ColumnRef:
+		fn(x)
+	case *BinaryExpr:
+		walkColumnRefs(x.Left, fn)
+		walkColumnRefs(x.Right, fn)
+	case *UnaryExpr:
+		walkColumnRefs(x.Expr, fn)
+	case *IsNullExpr:
+		walkColumnRefs(x.Expr, fn)
+	case *InExpr:
+		walkColumnRefs(x.Expr, fn)
+		for _, a := range x.List {
+			walkColumnRefs(a, fn)
+		}
+	case *BetweenExpr:
+		walkColumnRefs(x.Expr, fn)
+		walkColumnRefs(x.Lo, fn)
+		walkColumnRefs(x.Hi, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkColumnRefs(a, fn)
+		}
+	}
+}
+
+func combineAnd(exprs []Expr) Expr {
+	out := exprs[0]
+	for _, e := range exprs[1:] {
+		out = &BinaryExpr{Op: "AND", Left: out, Right: e}
+	}
+	return out
+}
+
+// planSource plans one FROM/JOIN source given the conjuncts pushed to it.
+// It returns the iterator, its plan subtree, and an estimated row count
+// (-1 = unknown) used to pick hash-join build sides.
+func planSource(db *relation.Database, ref TableRef, conjs []Expr, ctx *execCtx, naive bool) (relation.Iterator, *PlanNode, int64, error) {
+	if t, ok := db.Table(ref.Name); ok && !naive {
+		return planTableAccess(t, ref, conjs, ctx)
+	}
+	it, err := db.Source(ref.Name)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	est := int64(-1)
+	op := "Scan"
+	if t, ok := db.Table(ref.Name); ok {
+		est = int64(t.Len())
+	} else {
+		op = "VirtualScan"
+	}
+	node := &PlanNode{Op: op, Detail: sourceDetail(ref, est)}
+	if len(conjs) > 0 {
+		pred := combineAnd(conjs)
+		it, err = applyFilter(ctx, it, pred)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		node = &PlanNode{Op: "Filter", Detail: pred.SQL(), Children: []*PlanNode{node}}
+	}
+	return it, node, est, nil
+}
+
+func sourceDetail(ref TableRef, est int64) string {
+	d := ref.Name
+	if ref.Alias != "" {
+		d += " AS " + ref.Alias
+	}
+	if est >= 0 {
+		d += fmt.Sprintf(" [~%d rows]", est)
+	}
+	return d
+}
+
+// ---------- Access-path selection over one base table ----------
+
+// sargable is one index-usable conjunct: col <op> literal(s).
+type sargable struct {
+	idx  int    // position in the conjunct list
+	col  string // schema-normalized (lower-cased) column name
+	op   string // "=", "in", "<", "<=", ">", ">=", "between"
+	vals []relation.Value
+}
+
+// planTableAccess picks the cheapest access path the pushed conjuncts allow:
+// hash-index lookup > ordered-index range > full scan. Unconsumed conjuncts
+// become a residual filter over the narrowed stream.
+func planTableAccess(t *relation.Table, ref TableRef, conjs []Expr, ctx *execCtx) (relation.Iterator, *PlanNode, int64, error) {
+	binding := ref.Binding()
+	schema := t.Schema()
+
+	eqs := make(map[string]sargable)
+	ranges := make(map[string][]sargable)
+	for i, c := range conjs {
+		s, ok := classifySargable(c, binding, schema)
+		if !ok {
+			continue
+		}
+		s.idx = i
+		switch s.op {
+		case "=":
+			if _, dup := eqs[s.col]; !dup {
+				eqs[s.col] = s
+			}
+			ranges[s.col] = append(ranges[s.col], s)
+		case "in":
+			if _, dup := eqs[s.col]; !dup {
+				eqs[s.col] = s
+			}
+		default:
+			ranges[s.col] = append(ranges[s.col], s)
+		}
+	}
+
+	var (
+		it       relation.Iterator
+		node     *PlanNode
+		est      int64
+		consumed map[int]bool
+		err      error
+	)
+
+	if cols, keys, used := chooseHashIndex(t, eqs); cols != nil {
+		it, err = relation.NewIndexLookup(t, cols, keys)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		node = &PlanNode{Op: "IndexLookup", Detail: lookupDetail(ref, cols, keys)}
+		est = int64(len(keys))
+		consumed = used
+	} else if col, lo, hi, loIncl, hiIncl, used := chooseOrderedIndex(t, ranges); col != "" {
+		it, err = relation.NewIndexRange(t, col, lo, hi, loIncl, hiIncl)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		node = &PlanNode{Op: "IndexRange", Detail: rangeDetail(ref, col, lo, hi, loIncl, hiIncl)}
+		est = int64(t.Len())/4 + 1
+		consumed = used
+	} else {
+		it = relation.NewScan(t)
+		est = int64(t.Len())
+		node = &PlanNode{Op: "Scan", Detail: sourceDetail(ref, est)}
+	}
+
+	var residual []Expr
+	for i, c := range conjs {
+		if !consumed[i] {
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) > 0 {
+		pred := combineAnd(residual)
+		it, err = applyFilter(ctx, it, pred)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		node = &PlanNode{Op: "Filter", Detail: pred.SQL(), Children: []*PlanNode{node}}
+	}
+	return it, node, est, nil
+}
+
+// chooseHashIndex returns the widest hash index whose every column is bound
+// by an equality (or one IN) conjunct, with the expanded key tuples and the
+// set of consumed conjunct indices.
+func chooseHashIndex(t *relation.Table, eqs map[string]sargable) (cols []string, keys [][]relation.Value, consumed map[int]bool) {
+	if len(eqs) == 0 {
+		return nil, nil, nil
+	}
+	for _, ixCols := range t.HashIndexColumns() { // widest-first
+		keys = [][]relation.Value{{}}
+		consumed = make(map[int]bool)
+		inUsed := false
+		ok := true
+		for _, col := range ixCols {
+			s, have := eqs[strings.ToLower(col)]
+			if !have {
+				ok = false
+				break
+			}
+			if s.op == "in" {
+				// One IN column per plan keeps key expansion linear.
+				if inUsed {
+					ok = false
+					break
+				}
+				inUsed = true
+				expanded := make([][]relation.Value, 0, len(keys)*len(s.vals))
+				for _, k := range keys {
+					for _, v := range s.vals {
+						nk := make([]relation.Value, 0, len(k)+1)
+						nk = append(nk, k...)
+						expanded = append(expanded, append(nk, v))
+					}
+				}
+				keys = expanded
+			} else {
+				for i := range keys {
+					keys[i] = append(keys[i], s.vals[0])
+				}
+			}
+			consumed[s.idx] = true
+		}
+		if ok {
+			return ixCols, dedupeKeys(keys), consumed
+		}
+	}
+	return nil, nil, nil
+}
+
+func dedupeKeys(keys [][]relation.Value) [][]relation.Value {
+	if len(keys) < 2 {
+		return keys
+	}
+	seen := make(map[string]bool, len(keys))
+	out := keys[:0]
+	var buf []byte
+	for _, k := range keys {
+		buf = buf[:0]
+		for _, v := range k {
+			buf = v.AppendKey(buf)
+			buf = append(buf, '\x1f')
+		}
+		if seen[string(buf)] {
+			continue
+		}
+		seen[string(buf)] = true
+		out = append(out, k)
+	}
+	return out
+}
+
+// chooseOrderedIndex returns the ordered-indexed column whose range conjuncts
+// consume the most predicates, with the combined bounds.
+func chooseOrderedIndex(t *relation.Table, ranges map[string][]sargable) (col string, lo, hi relation.Value, loIncl, hiIncl bool, consumed map[int]bool) {
+	best := -1
+	for _, ixCol := range t.OrderedIndexColumns() {
+		sargs := ranges[strings.ToLower(ixCol)]
+		if len(sargs) <= best {
+			continue
+		}
+		if len(sargs) == 0 {
+			continue
+		}
+		best = len(sargs)
+		col = ixCol
+		lo, hi = relation.Null(), relation.Null()
+		loIncl, hiIncl = true, true
+		consumed = make(map[int]bool)
+		for _, s := range sargs {
+			switch s.op {
+			case "=":
+				lo, loIncl = tightenLo(lo, loIncl, s.vals[0], true)
+				hi, hiIncl = tightenHi(hi, hiIncl, s.vals[0], true)
+			case "between":
+				lo, loIncl = tightenLo(lo, loIncl, s.vals[0], true)
+				hi, hiIncl = tightenHi(hi, hiIncl, s.vals[1], true)
+			case ">":
+				lo, loIncl = tightenLo(lo, loIncl, s.vals[0], false)
+			case ">=":
+				lo, loIncl = tightenLo(lo, loIncl, s.vals[0], true)
+			case "<":
+				hi, hiIncl = tightenHi(hi, hiIncl, s.vals[0], false)
+			case "<=":
+				hi, hiIncl = tightenHi(hi, hiIncl, s.vals[0], true)
+			}
+			consumed[s.idx] = true
+		}
+	}
+	return col, lo, hi, loIncl, hiIncl, consumed
+}
+
+func tightenLo(cur relation.Value, curIncl bool, v relation.Value, incl bool) (relation.Value, bool) {
+	if cur.IsNull() {
+		return v, incl
+	}
+	c := relation.Compare(v, cur)
+	if c > 0 || (c == 0 && curIncl && !incl) {
+		return v, incl
+	}
+	return cur, curIncl
+}
+
+func tightenHi(cur relation.Value, curIncl bool, v relation.Value, incl bool) (relation.Value, bool) {
+	if cur.IsNull() {
+		return v, incl
+	}
+	c := relation.Compare(v, cur)
+	if c < 0 || (c == 0 && curIncl && !incl) {
+		return v, incl
+	}
+	return cur, curIncl
+}
+
+// classifySargable recognizes the index-usable predicate shapes over the
+// given table: col = lit, col <cmp> lit (either operand order), col IN
+// (lits...), col BETWEEN lit AND lit. NULL literals are never sargable (SQL
+// comparisons with NULL match nothing; the residual filter handles them).
+func classifySargable(c Expr, binding string, schema *relation.Schema) (sargable, bool) {
+	switch x := c.(type) {
+	case *BinaryExpr:
+		var flip = map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+		if _, cmp := flip[x.Op]; !cmp {
+			return sargable{}, false
+		}
+		if col, ok := tableColOf(x.Left, binding, schema); ok {
+			if v, ok := literalOf(x.Right); ok && !v.IsNull() {
+				return sargable{col: col, op: x.Op, vals: []relation.Value{v}}, true
+			}
+		}
+		if col, ok := tableColOf(x.Right, binding, schema); ok {
+			if v, ok := literalOf(x.Left); ok && !v.IsNull() {
+				return sargable{col: col, op: flip[x.Op], vals: []relation.Value{v}}, true
+			}
+		}
+	case *InExpr:
+		if x.Negate {
+			return sargable{}, false
+		}
+		col, ok := tableColOf(x.Expr, binding, schema)
+		if !ok {
+			return sargable{}, false
+		}
+		vals := make([]relation.Value, 0, len(x.List))
+		for _, e := range x.List {
+			v, ok := literalOf(e)
+			if !ok || v.IsNull() {
+				return sargable{}, false
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			return sargable{}, false
+		}
+		return sargable{col: col, op: "in", vals: vals}, true
+	case *BetweenExpr:
+		if x.Negate {
+			return sargable{}, false
+		}
+		col, ok := tableColOf(x.Expr, binding, schema)
+		if !ok {
+			return sargable{}, false
+		}
+		lo, lok := literalOf(x.Lo)
+		hi, hok := literalOf(x.Hi)
+		if !lok || !hok || lo.IsNull() || hi.IsNull() {
+			return sargable{}, false
+		}
+		return sargable{col: col, op: "between", vals: []relation.Value{lo, hi}}, true
+	}
+	return sargable{}, false
+}
+
+// tableColOf resolves e as a reference to a column of the table bound as
+// binding, returning the schema-normalized column name.
+func tableColOf(e Expr, binding string, schema *relation.Schema) (string, bool) {
+	ref, ok := e.(*ColumnRef)
+	if !ok {
+		return "", false
+	}
+	if ref.Table != "" && !strings.EqualFold(ref.Table, binding) {
+		return "", false
+	}
+	i := schema.Index(ref.Name)
+	if i < 0 {
+		return "", false
+	}
+	return strings.ToLower(schema.Col(i).Name), true
+}
+
+// literalOf extracts a constant from a Literal or a negated numeric Literal.
+func literalOf(e Expr) (relation.Value, bool) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Value, true
+	case *UnaryExpr:
+		if x.Op != "-" {
+			return relation.Null(), false
+		}
+		inner, ok := x.Expr.(*Literal)
+		if !ok {
+			return relation.Null(), false
+		}
+		switch inner.Value.Type() {
+		case relation.TInt:
+			return relation.Int(-inner.Value.AsInt()), true
+		case relation.TFloat:
+			return relation.Float(-inner.Value.AsFloat()), true
+		}
+	}
+	return relation.Null(), false
+}
+
+// ---------- EXPLAIN rendering details ----------
+
+func valueSQL(v relation.Value) string { return (&Literal{Value: v}).SQL() }
+
+func lookupDetail(ref TableRef, cols []string, keys [][]relation.Value) string {
+	d := ref.Name
+	if ref.Alias != "" {
+		d += " AS " + ref.Alias
+	}
+	d += " via hash(" + strings.Join(cols, ", ") + ")"
+	tuples := make([]string, len(keys))
+	for i, k := range keys {
+		parts := make([]string, len(k))
+		for j, v := range k {
+			parts[j] = valueSQL(v)
+		}
+		tuples[i] = "(" + strings.Join(parts, ", ") + ")"
+	}
+	if len(tuples) == 1 {
+		return d + " = " + tuples[0]
+	}
+	return d + " IN (" + strings.Join(tuples, ", ") + ")"
+}
+
+func rangeDetail(ref TableRef, col string, lo, hi relation.Value, loIncl, hiIncl bool) string {
+	d := ref.Name
+	if ref.Alias != "" {
+		d += " AS " + ref.Alias
+	}
+	d += " via ordered(" + col + ")"
+	var parts []string
+	if !lo.IsNull() {
+		op := ">"
+		if loIncl {
+			op = ">="
+		}
+		parts = append(parts, col+" "+op+" "+valueSQL(lo))
+	}
+	if !hi.IsNull() {
+		op := "<"
+		if hiIncl {
+			op = "<="
+		}
+		parts = append(parts, col+" "+op+" "+valueSQL(hi))
+	}
+	if len(parts) == 0 {
+		return d
+	}
+	return d + ": " + strings.Join(parts, " AND ")
+}
