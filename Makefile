@@ -1,6 +1,6 @@
 # Development targets. `make check` is what CI runs.
 
-.PHONY: check fmt vet build test bench bench-full
+.PHONY: check fmt vet build test bench bench-full fuzz
 
 check: fmt vet build test bench
 
@@ -27,3 +27,10 @@ bench:
 
 bench-full:
 	go test -run '^$$' -bench . -benchmem -count=1 .
+
+# fuzz runs a short smoke pass over every native fuzz target (decoder, WAL
+# replay, snapshot reader); CI runs it on each push.
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzRecordDecode$$' -fuzztime 10s ./internal/record
+	go test -run '^$$' -fuzz '^FuzzSnapshotRead$$' -fuzztime 10s ./internal/record
+	go test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime 10s ./internal/storage

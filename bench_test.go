@@ -9,6 +9,7 @@ package flor_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -571,6 +572,97 @@ func BenchmarkC10JoinPushdown(b *testing.B) {
 
 func BenchmarkC10JoinPushdownScanBaseline(b *testing.B) {
 	benchQuery(b, benchJoinQuery, benchQueryTstamps, true)
+}
+
+// ---------------------------------------------------------------------------
+// C11 — session startup: cold O(history) WAL replay vs snapshot-accelerated
+// recovery (load newest snapshot + replay the WAL tail) over a 100k-record
+// history. The paper's checkpoint/replay design applied to metadata state.
+// ---------------------------------------------------------------------------
+
+const (
+	benchRecoveryCommits = 100
+	benchRecoveryLogsPer = 1000 // 100k log records total
+)
+
+// setupRecoveryDir records a 100k-record history (100 commits x 1000 logs)
+// into a fresh project directory and closes the session.
+func setupRecoveryDir(b *testing.B) string {
+	b.Helper()
+	dir := b.TempDir()
+	sess, err := flor.Open(dir, "bench", flor.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.SetFilename("train.go")
+	for c := 0; c < benchRecoveryCommits; c++ {
+		for i := 0; i < benchRecoveryLogsPer; i++ {
+			sess.Log(benchRecoveryNames[i%len(benchRecoveryNames)], float64(i))
+		}
+		if err := sess.Commit(""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+var benchRecoveryNames = func() []string {
+	names := make([]string, 50)
+	for i := range names {
+		names[i] = fmt.Sprintf("metric_%d", i)
+	}
+	return names
+}()
+
+func benchRecoveryOpen(b *testing.B, dir string) {
+	// Warm up (page cache, allocator) and collect the setup's garbage so
+	// every timed iteration starts from the same heap state — without this,
+	// a single-iteration run (make bench) measures the setup's GC debt
+	// instead of recovery.
+	warm, err := flor.Open(dir, "bench", flor.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.Close(); err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := flor.Open(dir, "bench", flor.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := sess.Tables().Logs.Len(); n != benchRecoveryCommits*benchRecoveryLogsPer {
+			b.Fatalf("recovered %d log rows", n)
+		}
+		if err := sess.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkC11RecoveryCold(b *testing.B) {
+	dir := setupRecoveryDir(b)
+	benchRecoveryOpen(b, dir)
+}
+
+func BenchmarkC11RecoverySnapshot(b *testing.B) {
+	dir := setupRecoveryDir(b)
+	sess, err := flor.Open(dir, "bench", flor.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		b.Fatal(err)
+	}
+	benchRecoveryOpen(b, dir)
 }
 
 // ---------------------------------------------------------------------------

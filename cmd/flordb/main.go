@@ -6,6 +6,7 @@
 //	flordb sql "<query>"                              SQL over the Figure-1 schema
 //	flordb sql "EXPLAIN <query>"                      show the chosen query plan
 //	flordb versions <script.flow>                     committed versions of a file
+//	flordb compact                                    fold WAL history into a snapshot
 //	flordb build <Makefile> <goal>                    run a pipeline Makefile
 //	flordb serve [--addr :8080]                       Figure-6 feedback web UI
 //	flordb demo                                       end-to-end PDF-parser demo
@@ -38,7 +39,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: flordb {run|hindsight|dataframe|sql|versions|build|serve|demo} ...")
+	return fmt.Errorf("usage: flordb {run|hindsight|dataframe|sql|versions|compact|build|serve|demo} ...")
 }
 
 func run(args []string) error {
@@ -184,6 +185,24 @@ func run(args []string) error {
 		for _, v := range versions {
 			fmt.Printf("%s  ts=%d\n", vcs.Short(v.VID), v.Tstamp)
 		}
+		return nil
+
+	case "compact":
+		sess, _, err := openSess()
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		st, err := sess.Compact()
+		if err != nil {
+			return err
+		}
+		if st.SnapshotSeq == 0 {
+			fmt.Println("nothing to compact (no sealed WAL segments)")
+			return nil
+		}
+		fmt.Printf("snapshot covers segments 1..%d (%d rows); removed %d segment(s), %d old snapshot(s)\n",
+			st.SnapshotSeq, st.Rows, st.SegmentsRemoved, st.SnapshotsRemoved)
 		return nil
 
 	case "build":

@@ -1,0 +1,494 @@
+// Crash-injection and durability tests for the snapshot-accelerated
+// recovery path: every byte-truncation point of the WAL, every
+// mid-compaction kill point, a randomized snapshot-plus-tail vs full-replay
+// equivalence property, and concurrent commits racing a compaction.
+package flor_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	flor "flordb"
+	"flordb/internal/relation"
+	"flordb/internal/storage"
+)
+
+// dumpSession renders every base-table row of a session as strings, for
+// multiset comparison across recoveries.
+func dumpSession(s *flor.Session) []string {
+	t := s.Tables()
+	var out []string
+	for _, tbl := range []*relation.Table{t.Logs, t.Loops, t.Ts2vid, t.ObjStore, t.Args} {
+		tbl.Scan(func(_ relation.RowID, r relation.Row) bool {
+			line := tbl.Name()
+			for _, v := range r {
+				line += "|" + v.String()
+			}
+			out = append(out, line)
+			return true
+		})
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSameRows(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d = %q, want %q", label, i, got[i], want[i])
+		}
+	}
+}
+
+// copyTree clones a project directory so each crash point starts from the
+// same on-disk state.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		_, err = io.Copy(out, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+type commitPoint struct {
+	walSize int64    // active WAL size after the commit's flush
+	rows    []string // committed table state at that point
+}
+
+// TestCrashInjectionTruncationMatrix records a known workload, then for
+// every byte-truncation point of the WAL reopens the project and asserts the
+// recovered tables equal exactly the longest committed prefix that survived
+// — never an error, never a phantom uncommitted row. At a stride it also
+// commits new work on top of the truncated log and reopens again, proving a
+// later commit cannot resurrect truncated uncommitted records.
+func TestCrashInjectionTruncationMatrix(t *testing.T) {
+	base := t.TempDir()
+	s, err := flor.Open(base, "proj", flor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFilename("w.go")
+	walFile := filepath.Join(base, ".flor", "flor.wal")
+	points := []commitPoint{{walSize: 0, rows: nil}} // state before any commit
+
+	capture := func() {
+		st, err := os.Stat(walFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, commitPoint{walSize: st.Size(), rows: dumpSession(s)})
+	}
+
+	// Commit 1: plain logs plus a loop.
+	s.Log("acc", 0.91)
+	s.Log("note", "first")
+	for it := s.Loop("epoch", 2); it.Next(); {
+		s.Log("loss", 1.0/float64(it.Index()+1))
+	}
+	if err := s.Commit("c1"); err != nil {
+		t.Fatal(err)
+	}
+	capture()
+
+	// Commit 2: an arg resolution and a staged file (exercises ts2vid).
+	s.ArgInt("hidden", 32)
+	s.StageFile("w.flow", "x = 1\n")
+	s.Log("acc", 0.93)
+	if err := s.Commit("c2"); err != nil {
+		t.Fatal(err)
+	}
+	capture()
+
+	// Commit 3: more logs so the final commit has a multi-record body.
+	s.Log("acc", 0.95)
+	s.Log("recall", 0.88)
+	if err := s.Commit("c3"); err != nil {
+		t.Fatal(err)
+	}
+	capture()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := os.ReadFile(walFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != points[len(points)-1].walSize {
+		t.Fatalf("wal size %d != last capture %d", len(full), points[len(points)-1].walSize)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		want := points[0]
+		for _, p := range points {
+			if p.walSize <= int64(cut) {
+				want = p
+			}
+		}
+		cdir := t.TempDir()
+		copyTree(t, base, cdir)
+		cwal := filepath.Join(cdir, ".flor", "flor.wal")
+		if err := os.WriteFile(cwal, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := flor.Open(cdir, "proj", flor.Options{})
+		if err != nil {
+			t.Fatalf("truncation at byte %d: open failed: %v", cut, err)
+		}
+		assertSameRows(t, fmt.Sprintf("truncation at byte %d", cut), dumpSession(s2), want.rows)
+
+		// Resurrection check (strided: each reopen-and-commit is 2 more
+		// recoveries): new committed work must not revive the truncated
+		// uncommitted tail.
+		if cut%13 == 0 || cut == len(full) {
+			s2.Log("post", int64(cut))
+			if err := s2.Commit("post-crash"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s3, err := flor.Open(cdir, "proj", flor.Options{})
+			if err != nil {
+				t.Fatalf("reopen after post-crash commit at %d: %v", cut, err)
+			}
+			got := dumpSession(s3)
+			var posts, known int
+			for _, row := range got {
+				switch {
+				case containsField(row, "post"):
+					posts++
+				default:
+					known++
+				}
+			}
+			if posts != 1 || known != len(want.rows) {
+				t.Fatalf("truncation at %d: after new commit got %d post rows and %d old rows (want 1, %d): %v",
+					cut, posts, known, len(want.rows), got)
+			}
+			assertSameRows(t, fmt.Sprintf("old rows after new commit at %d", cut), without(got, "post"), want.rows)
+			s3.Close()
+		} else {
+			s2.Close()
+		}
+	}
+}
+
+func containsField(row, field string) bool {
+	for _, part := range splitRow(row) {
+		if part == field {
+			return true
+		}
+	}
+	return false
+}
+
+func splitRow(row string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(row); i++ {
+		if row[i] == '|' {
+			parts = append(parts, row[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, row[start:])
+}
+
+func without(rows []string, field string) []string {
+	var out []string
+	for _, r := range rows {
+		if !containsField(r, field) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestCrashInjectionCompactionKillPoints kills a compaction at each step —
+// after the snapshot temp write, before the atomic rename, after the rename,
+// and before the covered segments are deleted — then reopens and asserts the
+// recovered state is byte-identical to the pre-compaction committed state,
+// and that a subsequent compaction completes the interrupted cycle.
+func TestCrashInjectionCompactionKillPoints(t *testing.T) {
+	base := t.TempDir()
+	s, err := flor.Open(base, "proj", flor.Options{SegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFilename("w.go")
+	for c := 0; c < 6; c++ {
+		s.Log("acc", 0.8+float64(c)/100)
+		s.Log("step", int64(c))
+		if err := s.Commit(fmt.Sprintf("c%d", c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dumpSession(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs, _ := storage.ListSegments(filepath.Join(base, ".flor", "flor.wal")); len(segs) < 2 {
+		t.Fatalf("workload sealed only %d segments; matrix needs several", len(segs))
+	}
+
+	boom := fmt.Errorf("injected crash")
+	kills := []struct {
+		name string
+		arm  func(c *storage.Compactor)
+	}{
+		{"none", func(c *storage.Compactor) {}},
+		{"after snapshot write", func(c *storage.Compactor) { c.AfterSnapshotWrite = func() error { return boom } }},
+		{"before rename", func(c *storage.Compactor) { c.BeforeRename = func() error { return boom } }},
+		{"after rename", func(c *storage.Compactor) { c.AfterRename = func() error { return boom } }},
+		{"before segment delete", func(c *storage.Compactor) { c.BeforeSegmentDelete = func() error { return boom } }},
+	}
+	for _, kill := range kills {
+		t.Run(kill.name, func(t *testing.T) {
+			cdir := t.TempDir()
+			copyTree(t, base, cdir)
+			walFile := filepath.Join(cdir, ".flor", "flor.wal")
+			w, err := storage.OpenWAL(walFile, storage.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs, err := storage.NewBlobStore(filepath.Join(cdir, ".flor", "objects"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := &storage.Compactor{WAL: w, Blobs: blobs}
+			kill.arm(c)
+			_, err = c.Compact()
+			if kill.name == "none" && err != nil {
+				t.Fatal(err)
+			}
+			if kill.name != "none" && err != boom {
+				t.Fatalf("kill point did not fire: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The "crashed" project must recover to exactly the committed state.
+			s2, err := flor.Open(cdir, "proj", flor.Options{})
+			if err != nil {
+				t.Fatalf("open after crash %q: %v", kill.name, err)
+			}
+			assertSameRows(t, "after crash "+kill.name, dumpSession(s2), want)
+
+			// And the interrupted compaction completes on retry.
+			if _, err := s2.Compact(); err != nil {
+				t.Fatalf("compaction retry after %q: %v", kill.name, err)
+			}
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s3, err := flor.Open(cdir, "proj", flor.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRows(t, "after retried compaction "+kill.name, dumpSession(s3), want)
+			snaps, _ := storage.ListSnapshots(filepath.Join(cdir, ".flor", "flor.wal"))
+			if len(snaps) == 0 {
+				t.Fatal("no snapshot installed after retry")
+			}
+			s3.Close()
+		})
+	}
+}
+
+// TestSnapshotPlusTailEqualsFullReplayProperty drives two project
+// directories through an identical randomized workload — one compacting
+// aggressively with tiny segments, one never compacting — and asserts their
+// recovered states are row-multiset equal across all tables, for several
+// seeds. This is the property that makes compaction a pure optimization.
+func TestSnapshotPlusTailEqualsFullReplayProperty(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed * 7919))
+			dirA := t.TempDir()
+			dirB := t.TempDir()
+			a, err := flor.Open(dirA, "prop", flor.Options{SegmentBytes: 256, SnapshotEvery: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := flor.Open(dirB, "prop", flor.Options{SegmentBytes: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			both := []*flor.Session{a, b}
+			for _, s := range both {
+				s.SetFilename("w.go")
+			}
+			names := []string{"acc", "loss", "recall", "note"}
+			for i := 0; i < 150; i++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					name := names[rng.Intn(len(names))]
+					val := any(rng.Int63n(100))
+					switch rng.Intn(4) {
+					case 0:
+						val = rng.Float64()
+					case 1:
+						val = fmt.Sprintf("s%d", rng.Intn(5))
+					case 2:
+						val = rng.Intn(2) == 0
+					}
+					for _, s := range both {
+						s.Log(name, val)
+					}
+				case 4, 5:
+					n := 1 + rng.Intn(3)
+					for _, s := range both {
+						for it := s.Loop("epoch", n); it.Next(); {
+							s.Log("inner", int64(it.Index()))
+						}
+					}
+				case 6:
+					def := rng.Int63n(64)
+					for _, s := range both {
+						s.ArgInt("hidden", def)
+					}
+				case 7, 8:
+					for _, s := range both {
+						if err := s.Commit(""); err != nil {
+							t.Fatal(err)
+						}
+					}
+				case 9:
+					// Extra compactions on A only: the property says they
+					// must be invisible.
+					if _, err := a.Compact(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Roughly half the seeds end with an uncommitted tail, which
+			// strict recovery must drop identically on both sides.
+			if rng.Intn(2) == 0 {
+				for _, s := range both {
+					if err := s.Commit("final"); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if _, err := a.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			a.Close()
+			b.Close()
+
+			ra, err := flor.Open(dirA, "prop", flor.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := flor.Open(dirB, "prop", flor.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRows(t, "snapshot+tail vs full replay", dumpSession(ra), dumpSession(rb))
+			if ra.Tstamp() != rb.Tstamp() {
+				t.Fatalf("tstamp diverged: %d vs %d", ra.Tstamp(), rb.Tstamp())
+			}
+			if segs, _ := storage.ListSegments(filepath.Join(dirB, ".flor", "flor.wal")); len(segs) != 0 {
+				t.Fatalf("control session rotated segments: %v", segs)
+			}
+			ra.Close()
+			rb.Close()
+		})
+	}
+}
+
+// TestConcurrentCommitsAndCompaction runs N goroutines logging and
+// committing into one session while compactions run, then reopens and
+// asserts no committed record was lost. Run under -race in CI.
+func TestConcurrentCommitsAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := flor.Open(dir, "race", flor.Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFilename("w.go")
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("g%d", g)
+			for i := 0; i < perWriter; i++ {
+				s.Log(name, int64(i))
+				if err := s.Commit(""); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	compacted := make(chan struct{})
+	go func() {
+		defer close(compacted)
+		for i := 0; i < 8; i++ {
+			if _, err := s.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-compacted
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := flor.Open(dir, "race", flor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	counts := make(map[string]int)
+	s2.Tables().Logs.Scan(func(_ relation.RowID, r relation.Row) bool {
+		counts[r[4].AsText()]++
+		return true
+	})
+	for g := 0; g < writers; g++ {
+		name := fmt.Sprintf("g%d", g)
+		if counts[name] != perWriter {
+			t.Fatalf("writer %s: recovered %d of %d committed records", name, counts[name], perWriter)
+		}
+	}
+}

@@ -70,6 +70,8 @@ type Session struct {
 	repo      *vcs.Repo
 	tstamp    int64
 	recorder  *replay.Recorder
+	snapEvery int               // auto-compact every N commits (0 = never)
+	sinceSnap int               // commits since the last auto-compaction
 	workspace map[string]string // filename -> contents staged for commit
 	hosts     map[string]script.HostFunc
 	cliArgs   map[string]string
@@ -85,6 +87,17 @@ type Options struct {
 	Policy replay.CheckpointPolicy
 	// NoSync disables WAL fsync (benchmarks).
 	NoSync bool
+	// SegmentBytes rotates flor.wal into sealed, numbered segments once the
+	// active file reaches this size at a commit boundary. 0 applies the
+	// default (storage.DefaultSegmentBytes); negative disables rotation.
+	// Sealed segments are what compaction folds into snapshots and deletes.
+	SegmentBytes int64
+	// SnapshotEvery compacts automatically every N commits, keeping startup
+	// O(live data) without explicit Session.Compact calls. Each compaction
+	// cycle costs O(live data + delta) and runs synchronously inside the
+	// triggering Commit, so size N to amortize it. 0 disables
+	// auto-compaction.
+	SnapshotEvery int
 	// Stdout receives Flow script print output (nil = discard).
 	Stdout io.Writer
 }
@@ -96,7 +109,13 @@ func Open(dir, projid string, opts Options) (*Session, error) {
 	if err := os.MkdirAll(florDir, 0o755); err != nil {
 		return nil, fmt.Errorf("flor: %w", err)
 	}
-	wal, err := storage.OpenWAL(filepath.Join(florDir, "flor.wal"), storage.Options{NoSync: opts.NoSync})
+	segBytes := opts.SegmentBytes
+	if segBytes == 0 {
+		segBytes = storage.DefaultSegmentBytes
+	} else if segBytes < 0 {
+		segBytes = 0
+	}
+	wal, err := storage.OpenWAL(filepath.Join(florDir, "flor.wal"), storage.Options{NoSync: opts.NoSync, SegmentBytes: segBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +129,7 @@ func Open(dir, projid string, opts Options) (*Session, error) {
 	}
 	s, err := newSession(projid, dir, wal, blobs, repo, opts)
 	if err != nil {
+		wal.Close() // releases the project lock
 		return nil, err
 	}
 	return s, nil
@@ -136,6 +156,7 @@ func newSession(projid, dir string, wal *storage.WAL, blobs *storage.BlobStore, 
 		blobs:     blobs,
 		repo:      repo,
 		tstamp:    1,
+		snapEvery: opts.SnapshotEvery,
 		workspace: make(map[string]string),
 		hosts:     make(map[string]script.HostFunc),
 		cliArgs:   opts.Args,
@@ -192,58 +213,21 @@ func newSession(projid, dir string, wal *storage.WAL, blobs *storage.BlobStore, 
 	return s, nil
 }
 
-// recover replays the WAL, rebuilding tables, ts2vid rows (from commit
-// records) and obj_store blobs (from checkpoint records + blob store).
+// recover rebuilds the tables from the newest valid snapshot plus the WAL
+// tail (storage.RecoverTables): ts2vid rows come from commit records,
+// obj_store blobs from checkpoint records + blob store. Recovery is strict —
+// only records covered by a commit are visible (§2.1) — and the uncommitted
+// or torn tail of the active WAL file is truncated so a later commit cannot
+// resurrect records that were never durable.
 func (s *Session) recover() (int64, error) {
-	var maxTs int64
-	err := storage.Replay(s.wal.Path(), false, func(rec any) error {
-		switch r := rec.(type) {
-		case *record.CommitRecord:
-			if r.Tstamp > maxTs {
-				maxTs = r.Tstamp
-			}
-			if r.VID != "" {
-				_, err := s.tables.Ts2vid.Insert(relation.Row{
-					relation.Text(r.ProjID), relation.Int(r.Tstamp), relation.Int(r.Tstamp),
-					relation.Text(r.VID), relation.Text(s.rootTgt),
-				})
-				return err
-			}
-			return nil
-		case *record.CkptRecord:
-			if r.Tstamp > maxTs {
-				maxTs = r.Tstamp
-			}
-			if s.blobs != nil && s.blobs.Has(r.BlobKey) {
-				blob, err := s.blobs.Get(r.BlobKey)
-				if err != nil {
-					return err
-				}
-				return s.tables.PutBlob(r.ProjID, r.Tstamp, r.Filename, r.CtxID, r.Name, blob)
-			}
-			return nil
-		default:
-			if err := s.tables.Apply(rec); err != nil {
-				return err
-			}
-			switch r := rec.(type) {
-			case *record.LogRecord:
-				if r.Tstamp > maxTs {
-					maxTs = r.Tstamp
-				}
-			case *record.LoopRecord:
-				if r.Tstamp > maxTs {
-					maxTs = r.Tstamp
-				}
-			case *record.ArgRecord:
-				if r.Tstamp > maxTs {
-					maxTs = r.Tstamp
-				}
-			}
-			return nil
-		}
-	})
-	return maxTs, err
+	res, err := storage.RecoverTables(s.wal.Path(), s.tables, s.blobs, s.rootTgt, true)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.wal.Truncate(res.ActiveCommittedLen); err != nil {
+		return 0, err
+	}
+	return res.MaxTstamp, nil
 }
 
 // Tstamp returns the current logical timestamp (version counter).
@@ -440,8 +424,42 @@ func (s *Session) Commit(message string) error {
 		}
 	}
 	s.tstamp++
-	s.recorder.Ctx.Tstamp = s.tstamp
+	s.recorder.Ctx.SetTstamp(s.tstamp)
+	if s.wal != nil && s.snapEvery > 0 {
+		s.sinceSnap++
+		if s.sinceSnap >= s.snapEvery {
+			// Compaction is an optimization, not part of commit durability:
+			// the commit record is already fsynced, so a failed compaction
+			// must not make a successful Commit report an error (a caller
+			// retrying the "failed" transaction would duplicate it). The
+			// counter resets only when a snapshot actually covers history —
+			// an error, or a no-op because a concurrent append kept the WAL
+			// tail unsealable, retries at the next commit; a persistent
+			// failure surfaces through explicit Compact calls.
+			if st, err := s.compactLocked(); err == nil && st.SnapshotSeq > 0 {
+				s.sinceSnap = 0
+			}
+		}
+	}
 	return nil
+}
+
+// Compact folds the WAL's sealed history into a durable table snapshot and
+// deletes the covered segments, making the next Open O(live data) instead of
+// O(total history). It is safe to call while other goroutines log and
+// commit; only data committed before the call is guaranteed to be covered.
+func (s *Session) Compact() (storage.CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Session) compactLocked() (storage.CompactStats, error) {
+	if s.wal == nil {
+		return storage.CompactStats{}, fmt.Errorf("flor: in-memory session has no WAL to compact")
+	}
+	c := &storage.Compactor{WAL: s.wal, Blobs: s.blobs, RootTarget: s.rootTgt}
+	return c.Compact()
 }
 
 // ---------- Query surface ----------
@@ -559,6 +577,10 @@ type HindsightReport = replay.VersionReport
 // version of the file and replayed incrementally (from checkpoints, in
 // parallel) to materialize the new metadata retroactively. targets
 // optionally restricts which checkpoint-loop iterations are materialized.
+// Hindsight should not run concurrently with active recording: backfilled
+// records interleave with live ones, and the durability marker appended
+// when the WAL tail was clean at the start would also cover records logged
+// mid-backfill.
 func (s *Session) Hindsight(filename, newSrc string, targets []int) ([]HindsightReport, error) {
 	versions, err := replay.HistoricalVersions(s.repo, s.tables, s.ProjID, filename)
 	if err != nil {
@@ -582,7 +604,30 @@ func (s *Session) Hindsight(filename, newSrc string, targets []int) ([]Hindsight
 			}
 		},
 	}
-	return d.Hindsight(filename, newSrc, versions, targets)
+	// Backfilled records carry historical tstamps and would otherwise sit in
+	// the uncommitted WAL tail, which strict recovery discards. When the
+	// tail was committed before the backfill started, only backfill records
+	// are in it, so a commit marker makes them durable immediately. When the
+	// caller has a transaction in flight, a marker would wrongly commit
+	// those records too — so the backfill simply rides along with the
+	// caller's next Commit instead.
+	tailWasCommitted := s.wal != nil && s.wal.TailCommitted()
+	reports, err := d.Hindsight(filename, newSrc, versions, targets)
+	if err == nil && s.wal != nil && tailWasCommitted {
+		s.mu.Lock()
+		// Tstamp s.tstamp-1 keeps the recovered version counter equal to the
+		// live one (commit markers do not open a new version).
+		mark := &record.CommitRecord{
+			Kind: record.KindCommit, ProjID: s.ProjID,
+			Tstamp: s.tstamp - 1, Wall: time.Now().UTC(),
+		}
+		werr := s.wal.AppendCommit(mark)
+		s.mu.Unlock()
+		if werr != nil {
+			return reports, werr
+		}
+	}
+	return reports, err
 }
 
 // Versions lists the committed versions of a file, oldest first.

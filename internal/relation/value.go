@@ -55,13 +55,14 @@ func (t Type) String() string {
 }
 
 // Value is a dynamically typed relational value. The zero Value is NULL.
+// All fixed-width payloads (integer, float bits, bool, UnixNano datetime)
+// share one word, keeping the struct at 56 bytes — Values are copied on
+// every scan, join, and recovery load, so width is a kernel-wide cost.
 type Value struct {
 	typ  Type
-	i    int64   // TInt, TBool (0/1)
-	f    float64 // TFloat
-	s    string  // TText
-	t    time.Time
-	blob []byte
+	num  uint64 // TInt/TBool: int64; TFloat: Float64bits; TTime: UTC UnixNano
+	s    string // TText
+	blob []byte // TBlob
 }
 
 // Null returns the NULL value.
@@ -71,22 +72,25 @@ func Null() Value { return Value{} }
 func Text(s string) Value { return Value{typ: TText, s: s} }
 
 // Int builds an INTEGER value.
-func Int(i int64) Value { return Value{typ: TInt, i: i} }
+func Int(i int64) Value { return Value{typ: TInt, num: uint64(i)} }
 
 // Float builds a FLOAT value.
-func Float(f float64) Value { return Value{typ: TFloat, f: f} }
+func Float(f float64) Value { return Value{typ: TFloat, num: math.Float64bits(f)} }
 
 // Bool builds a BOOL value.
 func Bool(b bool) Value {
 	v := Value{typ: TBool}
 	if b {
-		v.i = 1
+		v.num = 1
 	}
 	return v
 }
 
-// Time builds a DATETIME value.
-func Time(t time.Time) Value { return Value{typ: TTime, t: t.UTC()} }
+// Time builds a DATETIME value. Sub-nanosecond monotonic readings and
+// location are dropped: the value is the UTC wall instant (nanosecond
+// precision, years 1678–2262 — the range time.Time round-trips through
+// UnixNano).
+func Time(t time.Time) Value { return Value{typ: TTime, num: uint64(t.UnixNano())} }
 
 // Blob builds a BLOB value. The slice is not copied.
 func Blob(b []byte) Value { return Value{typ: TBlob, blob: b} }
@@ -110,7 +114,7 @@ func (v Value) AsInt() int64 {
 	if v.typ != TInt {
 		panic(fmt.Sprintf("relation: AsInt on %s", v.typ))
 	}
-	return v.i
+	return int64(v.num)
 }
 
 // AsFloat returns the numeric payload widened to float64. Works for TInt and
@@ -118,9 +122,9 @@ func (v Value) AsInt() int64 {
 func (v Value) AsFloat() float64 {
 	switch v.typ {
 	case TFloat:
-		return v.f
+		return math.Float64frombits(v.num)
 	case TInt:
-		return float64(v.i)
+		return float64(int64(v.num))
 	default:
 		panic(fmt.Sprintf("relation: AsFloat on %s", v.typ))
 	}
@@ -131,7 +135,7 @@ func (v Value) AsBool() bool {
 	if v.typ != TBool {
 		panic(fmt.Sprintf("relation: AsBool on %s", v.typ))
 	}
-	return v.i != 0
+	return v.num != 0
 }
 
 // AsTime returns the DATETIME payload; it panics on type mismatch.
@@ -139,7 +143,7 @@ func (v Value) AsTime() time.Time {
 	if v.typ != TTime {
 		panic(fmt.Sprintf("relation: AsTime on %s", v.typ))
 	}
-	return v.t
+	return time.Unix(0, int64(v.num)).UTC()
 }
 
 // AsBlob returns the BLOB payload; it panics on type mismatch.
@@ -161,16 +165,16 @@ func (v Value) String() string {
 	case TText:
 		return v.s
 	case TInt:
-		return strconv.FormatInt(v.i, 10)
+		return strconv.FormatInt(int64(v.num), 10)
 	case TFloat:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.FormatFloat(math.Float64frombits(v.num), 'g', -1, 64)
 	case TBool:
-		if v.i != 0 {
+		if v.num != 0 {
 			return "true"
 		}
 		return "false"
 	case TTime:
-		return v.t.Format(time.RFC3339Nano)
+		return v.AsTime().Format(time.RFC3339Nano)
 	case TBlob:
 		return fmt.Sprintf("x'%x'", v.blob)
 	default:
@@ -182,7 +186,11 @@ func (v Value) String() string {
 // compare numerically across TInt/TFloat; otherwise both values must share a
 // type. Returns -1, 0, or +1. Cross-type non-numeric comparisons order by
 // type tag so that sorting heterogeneous columns is total and deterministic.
-func Compare(a, b Value) int {
+func Compare(a, b Value) int { return comparePtr(&a, &b) }
+
+// comparePtr is Compare without copying the 56-byte Value operands — the
+// form sort inner loops use, where the copies dominate the comparison.
+func comparePtr(a, b *Value) int {
 	if a.typ == TNull || b.typ == TNull {
 		switch {
 		case a.typ == TNull && b.typ == TNull:
@@ -215,18 +223,19 @@ func Compare(a, b Value) int {
 		return strings.Compare(a.s, b.s)
 	case TBool:
 		switch {
-		case a.i < b.i:
+		case a.num < b.num:
 			return -1
-		case a.i > b.i:
+		case a.num > b.num:
 			return 1
 		default:
 			return 0
 		}
 	case TTime:
+		an, bn := int64(a.num), int64(b.num)
 		switch {
-		case a.t.Before(b.t):
+		case an < bn:
 			return -1
-		case a.t.After(b.t):
+		case an > bn:
 			return 1
 		default:
 			return 0
@@ -259,7 +268,11 @@ func (v Value) Key() string {
 // and returns the extended slice. Hot paths — index maintenance, join and
 // group-by key building — use it to assemble multi-column keys in a single
 // reusable buffer instead of concatenating per-value strings.
-func (v Value) AppendKey(dst []byte) []byte {
+func (v Value) AppendKey(dst []byte) []byte { return v.appendKey(dst) }
+
+// appendKey is AppendKey on a pointer receiver, so row-indexed callers
+// (ix.appendRowKey over every column of every row) skip the 56-byte copy.
+func (v *Value) appendKey(dst []byte) []byte {
 	switch v.typ {
 	case TNull:
 		return append(dst, '\x00', 'N')
@@ -270,16 +283,16 @@ func (v Value) AppendKey(dst []byte) []byte {
 		// Ints share the numeric key space with floats so that Int(5) and
 		// Float(5) group/join together, matching Compare.
 		dst = append(dst, '\x02')
-		return strconv.AppendFloat(dst, float64(v.i), 'g', -1, 64)
+		return strconv.AppendFloat(dst, float64(int64(v.num)), 'g', -1, 64)
 	case TFloat:
 		dst = append(dst, '\x02')
-		return strconv.AppendFloat(dst, v.f, 'g', -1, 64)
+		return strconv.AppendFloat(dst, math.Float64frombits(v.num), 'g', -1, 64)
 	case TBool:
 		dst = append(dst, '\x03')
-		return strconv.AppendInt(dst, v.i, 10)
+		return strconv.AppendInt(dst, int64(v.num), 10)
 	case TTime:
 		dst = append(dst, '\x04')
-		return strconv.AppendInt(dst, v.t.UnixNano(), 10)
+		return strconv.AppendInt(dst, int64(v.num), 10)
 	case TBlob:
 		dst = append(dst, '\x05')
 		return append(dst, v.blob...)
@@ -300,10 +313,11 @@ func Coerce(v Value, t Type) (Value, error) {
 	case TInt:
 		switch v.typ {
 		case TFloat:
-			if v.f != math.Trunc(v.f) {
-				return Value{}, fmt.Errorf("relation: cannot coerce %v to INTEGER without loss", v.f)
+			f := math.Float64frombits(v.num)
+			if f != math.Trunc(f) {
+				return Value{}, fmt.Errorf("relation: cannot coerce %v to INTEGER without loss", f)
 			}
-			return Int(int64(v.f)), nil
+			return Int(int64(f)), nil
 		case TText:
 			i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
 			if err != nil {
@@ -311,12 +325,12 @@ func Coerce(v Value, t Type) (Value, error) {
 			}
 			return Int(i), nil
 		case TBool:
-			return Int(v.i), nil
+			return Int(int64(v.num)), nil
 		}
 	case TFloat:
 		switch v.typ {
 		case TInt:
-			return Float(float64(v.i)), nil
+			return Float(float64(int64(v.num))), nil
 		case TText:
 			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
 			if err != nil {
@@ -327,7 +341,7 @@ func Coerce(v Value, t Type) (Value, error) {
 	case TBool:
 		switch v.typ {
 		case TInt:
-			return Bool(v.i != 0), nil
+			return Bool(v.num != 0), nil
 		case TText:
 			switch strings.ToLower(strings.TrimSpace(v.s)) {
 			case "true", "t", "1":

@@ -4,6 +4,7 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"flordb/internal/record"
@@ -171,7 +172,7 @@ func (m *CheckpointManager) MaybeCheckpoint(ctx *Context, loopName string, iter 
 		return false, err
 	}
 	name := ckptName(loopName, iter)
-	if err := ctx.Tables.PutBlob(ctx.ProjID, ctx.Tstamp, ctx.Filename, ctxID, name, blob); err != nil {
+	if err := ctx.Tables.PutBlob(ctx.ProjID, ctx.TstampNow(), ctx.Filename, ctxID, name, blob); err != nil {
 		return false, err
 	}
 	if ctx.Blobs != nil {
@@ -181,7 +182,7 @@ func (m *CheckpointManager) MaybeCheckpoint(ctx *Context, loopName string, iter 
 		}
 		if ctx.WAL != nil {
 			rec := &record.CkptRecord{
-				Kind: record.KindCkpt, ProjID: ctx.ProjID, Tstamp: ctx.Tstamp,
+				Kind: record.KindCkpt, ProjID: ctx.ProjID, Tstamp: ctx.TstampNow(),
 				Filename: ctx.Filename, CtxID: ctxID, Name: name, BlobKey: key,
 			}
 			if err := ctx.WAL.Append(rec); err != nil {
@@ -202,8 +203,17 @@ func (m *CheckpointManager) MaybeCheckpoint(ctx *Context, loopName string, iter 
 type Context struct {
 	ProjID   string
 	Filename string
-	Tstamp   int64
-	Tables   *record.Tables
-	WAL      *storage.WAL       // optional
-	Blobs    *storage.BlobStore // optional
+	// Tstamp is the logical timestamp records are stamped with. The owning
+	// session advances it on commit, possibly while other goroutines record;
+	// concurrent readers must go through TstampNow/SetTstamp.
+	Tstamp int64
+	Tables *record.Tables
+	WAL    *storage.WAL       // optional
+	Blobs  *storage.BlobStore // optional
 }
+
+// TstampNow atomically reads the logical timestamp.
+func (c *Context) TstampNow() int64 { return atomic.LoadInt64(&c.Tstamp) }
+
+// SetTstamp atomically advances the logical timestamp.
+func (c *Context) SetTstamp(ts int64) { atomic.StoreInt64(&c.Tstamp, ts) }

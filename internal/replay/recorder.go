@@ -54,7 +54,7 @@ func (r *Recorder) SetCtxCounter(n int64) { atomic.StoreInt64(&r.ctxCounter, n) 
 func (r *Recorder) Log(name string, v script.Value) (script.Value, error) {
 	text, vt := formatScriptValue(v)
 	rec := &record.LogRecord{
-		Kind: record.KindLog, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.Tstamp,
+		Kind: record.KindLog, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.TstampNow(),
 		Filename: r.Ctx.Filename, CtxID: r.curCtx(), ValueName: name,
 		Value: text, ValueType: vt, Wall: time.Now().UTC(),
 	}
@@ -82,7 +82,7 @@ func (r *Recorder) Arg(name string, def script.Value) (script.Value, error) {
 	}
 	text, _ := formatScriptValue(resolved)
 	rec := &record.ArgRecord{
-		Kind: record.KindArg, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.Tstamp,
+		Kind: record.KindArg, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.TstampNow(),
 		Filename: r.Ctx.Filename, Name: name, Value: text,
 	}
 	if err := r.Ctx.Tables.Apply(rec); err != nil {
@@ -108,7 +108,7 @@ func (r *Recorder) IterationBegin(name string, val script.Value) error {
 	ctx := r.nextCtx()
 	text, _ := formatScriptValue(val)
 	rec := &record.LoopRecord{
-		Kind: record.KindLoop, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.Tstamp,
+		Kind: record.KindLoop, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.TstampNow(),
 		Filename: r.Ctx.Filename, CtxID: ctx, ParentCtxID: r.curCtx(),
 		LoopName: name, LoopIter: -1, IterValue: text, Wall: time.Now().UTC(),
 	}
@@ -149,7 +149,7 @@ func (r *Recorder) Commit() error {
 		return r.OnCommit()
 	}
 	if r.Ctx.WAL != nil {
-		rec := &record.CommitRecord{Kind: record.KindCommit, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.Tstamp, Wall: time.Now().UTC()}
+		rec := &record.CommitRecord{Kind: record.KindCommit, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.TstampNow(), Wall: time.Now().UTC()}
 		return r.Ctx.WAL.AppendCommit(rec)
 	}
 	return nil
@@ -170,7 +170,7 @@ func (s *recordSession) Decide(i int, v script.Value) (bool, error) {
 	ctx := s.r.nextCtx()
 	text, _ := formatScriptValue(v)
 	rec := &record.LoopRecord{
-		Kind: record.KindLoop, ProjID: s.r.Ctx.ProjID, Tstamp: s.r.Ctx.Tstamp,
+		Kind: record.KindLoop, ProjID: s.r.Ctx.ProjID, Tstamp: s.r.Ctx.TstampNow(),
 		Filename: s.r.Ctx.Filename, CtxID: ctx, ParentCtxID: s.r.curCtx(),
 		LoopName: s.name, LoopIter: int64(i), IterValue: text, Wall: time.Now().UTC(),
 	}

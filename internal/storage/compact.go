@@ -1,0 +1,217 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flordb/internal/record"
+	"flordb/internal/relation"
+)
+
+// Compactor folds WAL history into a durable table snapshot: it seals the
+// active file, replays the sealed segments a previous snapshot does not
+// already cover into a fresh set of tables, writes a new snapshot, and
+// deletes the covered segments plus superseded snapshots.
+//
+// Compaction never reads a live session's in-memory tables: the snapshot is
+// built purely from immutable inputs (the previous snapshot and sealed
+// segments), so it is safe to run while other goroutines append to the
+// active file — they only contend on the brief Seal step. Crash-safety
+// follows the ordering invariants documented in the package comment: the
+// snapshot is written to a temp file, fsynced, renamed into place, and the
+// directory fsynced before anything is deleted.
+type Compactor struct {
+	WAL        *WAL
+	Blobs      *BlobStore // optional; rehydrates obj_store rows for the snapshot
+	RootTarget string     // ts2vid root_target for replayed commit records
+	Keep       int        // snapshots to retain, including the new one (default 2)
+
+	// Kill points for crash-injection tests: a hook returning an error
+	// aborts compaction at exactly that step, simulating a crash. All nil in
+	// production use.
+	AfterSnapshotWrite  func() error // temp snapshot written + fsynced, not installed
+	BeforeRename        func() error // about to rename temp snapshot into place
+	AfterRename         func() error // snapshot installed, covered segments still present
+	BeforeSegmentDelete func() error // about to delete covered segments
+}
+
+// CompactStats reports what one compaction did.
+type CompactStats struct {
+	SnapshotSeq      int64 // highest segment the installed snapshot covers (0 = none written)
+	Rows             int   // table rows serialized into the new snapshot
+	SegmentsRemoved  int
+	SnapshotsRemoved int
+}
+
+// Compact runs one compaction cycle. It is a no-op (returning zero stats)
+// when there are no sealed segments to fold.
+func (c *Compactor) Compact() (CompactStats, error) {
+	var stats CompactStats
+	walPath := c.WAL.Path()
+
+	// Clear temp files a crashed compaction left behind. Plain directory
+	// listing, not filepath.Glob: the WAL path may legally contain glob
+	// metacharacters.
+	walDir, walBase := filepath.Split(walPath)
+	if walDir == "" {
+		walDir = "."
+	}
+	if entries, err := os.ReadDir(walDir); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasPrefix(name, walBase+".snap.") && strings.HasSuffix(name, ".tmp") {
+				os.Remove(filepath.Join(walDir, name))
+			}
+		}
+	}
+
+	if _, err := c.WAL.Seal(); err != nil {
+		return stats, err
+	}
+	segs, err := ListSegments(walPath)
+	if err != nil {
+		return stats, err
+	}
+	if len(segs) == 0 {
+		return stats, nil
+	}
+	upto := segs[len(segs)-1].Seq
+
+	// Base: the newest readable snapshot, so compaction replays only the
+	// delta since the last cycle. The cycle itself still costs O(live data)
+	// — the base snapshot is decoded and the merged state re-serialized —
+	// but never O(total history): deleted segments are gone for good.
+	db := relation.NewDatabase()
+	tables, err := record.CreateTables(db)
+	if err != nil {
+		return stats, err
+	}
+	base, maxTs, newestSeq, err := loadNewestSnapshot(walPath, tables)
+	if err != nil {
+		return stats, err
+	}
+	if base < newestSeq {
+		// A newer snapshot exists but is unreadable. If its covered segments
+		// are gone, compacting from this base would bake the loss into a new
+		// snapshot; replaySealed's contiguity check below catches the gap,
+		// but fail early with the clearer diagnosis when nothing remains.
+		if len(segs) == 0 || segs[len(segs)-1].Seq < newestSeq {
+			return stats, fmt.Errorf("storage: snapshot covering segments 1..%d is unreadable and its segments were already compacted away; refusing to compact a partial database", newestSeq)
+		}
+	}
+
+	if base < upto {
+		err := replaySealed(walPath, base, upto, func(rec any) error {
+			ts, err := ApplyRecovered(rec, tables, c.Blobs, c.RootTarget)
+			if err != nil {
+				return err
+			}
+			if ts > maxTs {
+				maxTs = ts
+			}
+			return nil
+		})
+		if err != nil {
+			return stats, err
+		}
+		meta := record.SnapshotMeta{Version: record.SnapshotVersion, Seq: upto, MaxTstamp: maxTs}
+		if err := c.writeSnapshot(walPath, meta, tables); err != nil {
+			return stats, err
+		}
+	}
+	// base >= upto happens only after a crash between snapshot install and
+	// segment delete: the snapshot already covers everything sealed, so all
+	// that is left is reclaiming space.
+	stats.SnapshotSeq = max(base, upto)
+	stats.Rows = tables.Logs.Len() + tables.Loops.Len() + tables.Ts2vid.Len() +
+		tables.ObjStore.Len() + tables.Args.Len()
+
+	// Prune superseded snapshots, keeping the newest Keep (default 2: the
+	// previous snapshot remains the fallback if the new one is ever
+	// unreadable).
+	keep := c.Keep
+	if keep <= 0 {
+		keep = 2
+	}
+	snaps, err := ListSnapshots(walPath)
+	if err != nil {
+		return stats, err
+	}
+	for i := 0; i < len(snaps)-keep; i++ {
+		if err := os.Remove(snaps[i].Path); err != nil {
+			return stats, fmt.Errorf("storage: prune snapshot: %w", err)
+		}
+		stats.SnapshotsRemoved++
+	}
+
+	if c.BeforeSegmentDelete != nil {
+		if err := c.BeforeSegmentDelete(); err != nil {
+			return stats, err
+		}
+	}
+	for _, sg := range segs {
+		if sg.Seq > stats.SnapshotSeq {
+			continue
+		}
+		if err := os.Remove(sg.Path); err != nil {
+			return stats, fmt.Errorf("storage: drop segment: %w", err)
+		}
+		stats.SegmentsRemoved++
+	}
+	if err := syncDir(filepath.Dir(walPath)); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// writeSnapshot durably installs a snapshot: temp write, fsync, atomic
+// rename, directory fsync. The kill-point hooks fire between the steps.
+func (c *Compactor) writeSnapshot(walPath string, meta record.SnapshotMeta, tables *record.Tables) error {
+	final := SnapshotPath(walPath, meta.Seq)
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: snapshot temp: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := record.WriteSnapshot(bw, meta, tables); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: snapshot flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: snapshot close: %w", err)
+	}
+	if c.AfterSnapshotWrite != nil {
+		if err := c.AfterSnapshotWrite(); err != nil {
+			return err
+		}
+	}
+	if c.BeforeRename != nil {
+		if err := c.BeforeRename(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("storage: snapshot install: %w", err)
+	}
+	if err := syncDir(filepath.Dir(walPath)); err != nil {
+		return err
+	}
+	if c.AfterRename != nil {
+		if err := c.AfterRename(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+
+	"flordb/internal/record"
+	"flordb/internal/relation"
+)
+
+// ApplyRecovered applies one replayed WAL record to the tables with full
+// session semantics: commit records that carry a version id materialize
+// their ts2vid row, checkpoint records rehydrate obj_store from the blob
+// store, and everything else is shredded by Tables.Apply. It returns the
+// record's logical timestamp so callers can restore the version counter.
+func ApplyRecovered(rec any, tables *record.Tables, blobs *BlobStore, rootTarget string) (int64, error) {
+	switch r := rec.(type) {
+	case *record.CommitRecord:
+		if r.VID == "" {
+			return r.Tstamp, nil
+		}
+		_, err := tables.Ts2vid.Insert(relation.Row{
+			relation.Text(r.ProjID), relation.Int(r.Tstamp), relation.Int(r.Tstamp),
+			relation.Text(r.VID), relation.Text(rootTarget),
+		})
+		return r.Tstamp, err
+	case *record.CkptRecord:
+		if blobs != nil && blobs.Has(r.BlobKey) {
+			blob, err := blobs.Get(r.BlobKey)
+			if err != nil {
+				return r.Tstamp, err
+			}
+			return r.Tstamp, tables.PutBlob(r.ProjID, r.Tstamp, r.Filename, r.CtxID, r.Name, blob)
+		}
+		return r.Tstamp, nil
+	case *record.LogRecord:
+		return r.Tstamp, tables.Apply(rec)
+	case *record.LoopRecord:
+		return r.Tstamp, tables.Apply(rec)
+	case *record.ArgRecord:
+		return r.Tstamp, tables.Apply(rec)
+	default:
+		return 0, tables.Apply(rec)
+	}
+}
+
+// RecoverResult reports what a snapshot-accelerated recovery did.
+type RecoverResult struct {
+	MaxTstamp   int64 // highest logical timestamp observed (snapshot + tail)
+	Applied     int   // WAL records replayed after the snapshot
+	SnapshotSeq int64 // segment sequence the loaded snapshot covers (0 = full replay)
+	// ActiveCommittedLen is the committed prefix length of the active WAL
+	// file; the session truncates the file to it so the uncommitted tail
+	// cannot be resurrected by a later commit.
+	ActiveCommittedLen int64
+}
+
+// loadNewestSnapshot loads the newest readable snapshot into tables,
+// returning its coverage sequence and max tstamp (0, 0 when none loads).
+// Unreadable or corrupt snapshots are skipped; ReadSnapshot validates the
+// checksum and decodes fully before touching the tables, so a rejected
+// snapshot leaves them empty and the fallback starts clean. newestSeq
+// reports the coverage claimed by the newest snapshot *file*, loaded or not
+// — callers must verify the segments filling the gap up to it still exist
+// before trusting a fallback.
+func loadNewestSnapshot(walPath string, tables *record.Tables) (seq, maxTs, newestSeq int64, err error) {
+	snaps, err := ListSnapshots(walPath)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(snaps) > 0 {
+		newestSeq = snaps[len(snaps)-1].Seq
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, rerr := os.ReadFile(snaps[i].Path)
+		if rerr != nil {
+			continue
+		}
+		meta, rerr := record.ReadSnapshot(data, tables)
+		if rerr != nil {
+			continue
+		}
+		return meta.Seq, meta.MaxTstamp, newestSeq, nil
+	}
+	return 0, 0, newestSeq, nil
+}
+
+// RecoverTables rebuilds the tables from the newest valid snapshot plus the
+// WAL tail (segments the snapshot does not cover, then the active file). A
+// corrupt or unreadable snapshot falls back to the previous one, and finally
+// to a full replay of every segment — but only when the segments covering
+// the difference still exist; compaction deletes covered segments, so a
+// fallback across deleted history is reported as an error rather than a
+// silently shrunken database. When strict is true, records after the last
+// commit in the stream are not applied.
+func RecoverTables(walPath string, tables *record.Tables, blobs *BlobStore, rootTarget string, strict bool) (RecoverResult, error) {
+	var res RecoverResult
+	seq, maxTs, newestSeq, err := loadNewestSnapshot(walPath, tables)
+	if err != nil {
+		return res, err
+	}
+	res.SnapshotSeq = seq
+	res.MaxTstamp = maxTs
+	if seq < newestSeq {
+		// Fell back past the newest snapshot file: the records it covers are
+		// only recoverable if the sealed segments through newestSeq survive
+		// (ReplaySegments then checks they are gap-free from seq+1 onward).
+		segs, err := ListSegments(walPath)
+		if err != nil {
+			return res, err
+		}
+		if len(segs) == 0 || segs[len(segs)-1].Seq < newestSeq {
+			return res, fmt.Errorf("storage: snapshot covering segments 1..%d is unreadable and its segments were already compacted away; refusing to recover a partial database", newestSeq)
+		}
+	}
+	tail, err := ReplaySegments(walPath, res.SnapshotSeq, strict, func(rec any) error {
+		ts, err := ApplyRecovered(rec, tables, blobs, rootTarget)
+		if err != nil {
+			return err
+		}
+		res.Applied++
+		if ts > res.MaxTstamp {
+			res.MaxTstamp = ts
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ActiveCommittedLen = tail.ActiveCommittedLen
+	return res, nil
+}

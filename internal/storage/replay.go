@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"flordb/internal/record"
+)
+
+// replayState threads commit-visibility semantics through a multi-file
+// replay. In strict mode, records are held back until the commit that makes
+// them visible arrives; memory is bounded by the size of one uncommitted
+// transaction, never by the log.
+type replayState struct {
+	strict bool
+	fn     func(rec any) error
+	buf    []any // records since the last commit (strict mode only)
+}
+
+func (st *replayState) emit(rec any) error {
+	if !st.strict {
+		return st.fn(rec)
+	}
+	st.buf = append(st.buf, rec)
+	if _, isCommit := rec.(*record.CommitRecord); !isCommit {
+		return nil
+	}
+	for _, r := range st.buf {
+		if err := st.fn(r); err != nil {
+			return err
+		}
+	}
+	st.buf = st.buf[:0]
+	return nil
+}
+
+// replayFile streams every decodable record of one WAL file to st, reading
+// through a bounded bufio.Reader so replaying a multi-GB log never buffers
+// the whole file. tornOK marks the final file of a stream, whose last line
+// may be torn by a crash mid-write; a torn line followed by anything but
+// whitespace — and any undecodable line in a non-final file — is corruption.
+// It returns the byte offset just past the last commit record in the file
+// (0 if the file holds none), which recovery uses to truncate the
+// uncommitted tail of the active file.
+func replayFile(path string, tornOK bool, st *replayState) (committedLen int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		if tornOK {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("storage: missing wal segment %s", path)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storage: open for replay: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	line := 0
+	for {
+		chunk, rerr := br.ReadBytes('\n')
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return 0, fmt.Errorf("storage: read wal: %w", rerr)
+		}
+		content := bytes.TrimSpace(chunk)
+		if len(content) > 0 {
+			line++
+			if terminated := chunk[len(chunk)-1] == '\n'; !terminated {
+				// A record is durable only once its terminating newline is
+				// on disk: an unterminated final line is a torn append even
+				// when the JSON happens to parse (and appending after a
+				// truncation there would otherwise fuse two records).
+				if tornOK {
+					return committedLen, nil
+				}
+				return 0, fmt.Errorf("storage: torn record at end of sealed segment %s line %d", path, line)
+			}
+			rec, derr := record.Decode(content)
+			if derr != nil {
+				if tornOK && restIsWhitespace(br) {
+					// Crash mid-append: tolerate and stop before the torn line.
+					return committedLen, nil
+				}
+				return 0, fmt.Errorf("storage: corrupt wal record at %s line %d: %w", path, line, derr)
+			}
+			if err := st.emit(rec); err != nil {
+				return 0, err
+			}
+			if _, isCommit := rec.(*record.CommitRecord); isCommit {
+				committedLen = off + int64(len(chunk))
+			}
+		}
+		off += int64(len(chunk))
+		if rerr != nil {
+			return committedLen, nil
+		}
+	}
+}
+
+// restIsWhitespace reports whether everything left in the reader is
+// whitespace — i.e. whether a decode failure hit the torn final line rather
+// than corruption in the middle of the log.
+func restIsWhitespace(br *bufio.Reader) bool {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return true
+		}
+		switch b {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return false
+		}
+	}
+}
+
+// Replay streams every decodable record in the single WAL file at path to
+// fn, in order. A torn final line (crash mid-write) is tolerated and
+// skipped; corruption in the middle of the log is an error. Commit records
+// delimit transactions: when strictCommits is true, records after the last
+// commit are not delivered (uncommitted tail is invisible), matching
+// flor.commit() visibility semantics.
+func Replay(path string, strictCommits bool, fn func(rec any) error) error {
+	st := &replayState{strict: strictCommits, fn: fn}
+	_, err := replayFile(path, true, st)
+	return err
+}
+
+// TailStats describes the active file's commit boundary after a replay.
+type TailStats struct {
+	// ActiveCommittedLen is the length of the committed prefix of the active
+	// file: the byte offset just past its last commit record, or 0 when the
+	// active file holds no commit. Everything after it is the uncommitted
+	// (possibly torn) tail.
+	ActiveCommittedLen int64
+}
+
+// ReplaySegments replays the segmented WAL rooted at walPath as one logical
+// stream: sealed segments with sequence > afterSeq in ascending order, then
+// the active file. strictCommits applies across the whole stream — a record
+// near the end of one segment is made visible by a commit early in the next.
+//
+// Segments above afterSeq must be contiguous starting at afterSeq+1: a gap
+// means history the caller's snapshot does not cover was deleted (normally
+// by a compaction under a newer snapshot that failed to load), and replaying
+// around it would silently drop committed data, so it is an error instead.
+func ReplaySegments(walPath string, afterSeq int64, strictCommits bool, fn func(rec any) error) (TailStats, error) {
+	segs, err := ListSegments(walPath)
+	if err != nil {
+		return TailStats{}, err
+	}
+	st := &replayState{strict: strictCommits, fn: fn}
+	expect := afterSeq + 1
+	for _, sg := range segs {
+		if sg.Seq <= afterSeq {
+			continue
+		}
+		if sg.Seq != expect {
+			return TailStats{}, fmt.Errorf("storage: wal segment gap: next sealed segment is %d, want %d — history after snapshot %d is incomplete", sg.Seq, expect, afterSeq)
+		}
+		expect++
+		if _, err := replayFile(sg.Path, false, st); err != nil {
+			return TailStats{}, err
+		}
+	}
+	committedLen, err := replayFile(walPath, true, st)
+	if err != nil {
+		return TailStats{}, err
+	}
+	return TailStats{ActiveCommittedLen: committedLen}, nil
+}
+
+// replaySealed replays only the sealed segments in (afterSeq, uptoSeq] —
+// what compaction folds into a snapshot. Every sealed segment ends with a
+// commit record (rotation happens only at commit boundaries), so a leftover
+// uncommitted suffix means the segment files were tampered with; compaction
+// must not build a snapshot that silently drops it.
+func replaySealed(walPath string, afterSeq, uptoSeq int64, fn func(rec any) error) error {
+	segs, err := ListSegments(walPath)
+	if err != nil {
+		return err
+	}
+	st := &replayState{strict: true, fn: fn}
+	expect := afterSeq + 1
+	for _, sg := range segs {
+		if sg.Seq <= afterSeq || sg.Seq > uptoSeq {
+			continue
+		}
+		if sg.Seq != expect {
+			return fmt.Errorf("storage: wal segment gap: next sealed segment is %d, want %d — refusing to compact over missing history", sg.Seq, expect)
+		}
+		expect++
+		if _, err := replayFile(sg.Path, false, st); err != nil {
+			return err
+		}
+	}
+	if len(st.buf) > 0 {
+		return fmt.Errorf("storage: sealed segments end with %d uncommitted record(s); refusing to compact", len(st.buf))
+	}
+	return nil
+}

@@ -1,34 +1,70 @@
 // Package storage provides durability for FlorDB's metadata: an append-only
-// write-ahead log of JSONL records with group commit, plus recovery that
-// replays the log into the relational tables at startup.
+// write-ahead log of JSONL records with group commit and size-based
+// segmentation, table snapshots that cover a WAL prefix, and recovery that
+// rebuilds the relational tables from the newest snapshot plus the WAL tail.
 //
 // The paper's flor.commit() is realized here as a WAL flush boundary: a
 // commit record is appended and the file is synced, making everything up to
 // the commit visible to future sessions (§2.1 "application-level transaction
 // commit marker supporting visibility control").
+//
+// File layout (all next to the active WAL file, typically <dir>/.flor):
+//
+//	flor.wal                  active segment, the only file ever appended to
+//	flor.wal.000000001        sealed segments, immutable, ascending sequence
+//	flor.wal.snap.000000004   table snapshot covering segments 1..4
+//
+// Crash-ordering invariants:
+//
+//  1. Rotation happens only at a commit boundary, so every sealed segment
+//     ends with a commit record. The uncommitted tail of the log therefore
+//     lives entirely in the active file, where recovery can truncate it.
+//  2. Snapshots are written to a temp file, fsynced, and renamed into place
+//     before any covered segment is deleted; a crash at any point leaves
+//     either the old state (snapshot absent, segments intact) or the new
+//     state (snapshot present, segments redundant but harmless).
+//  3. Recovery skips segments a loaded snapshot covers; replaying a covered
+//     segment never happens, so the delete in compaction is pure space
+//     reclamation, not a correctness step.
 package storage
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"flordb/internal/record"
 )
 
+// DefaultSegmentBytes is the rotation threshold sessions use when the caller
+// does not choose one: large enough that small projects keep a single file,
+// small enough that compaction of a long history reclaims space in chunks.
+const DefaultSegmentBytes = 64 << 20
+
 // WAL is an append-only record log. Appends are buffered; Flush writes and
-// syncs. Safe for concurrent use.
+// syncs. The active file rotates into sealed, numbered segments at commit
+// boundaries once it exceeds the segment size. Safe for concurrent use.
 type WAL struct {
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	path    string
-	pending int  // records buffered since last flush
-	sync    bool // fsync on flush
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	lock      *os.File // held flock; single-writer exclusion across processes
+	path      string
+	pending   int   // records buffered since last flush
+	sync      bool  // fsync on flush
+	segBytes  int64 // rotation threshold; 0 disables rotation
+	size      int64 // logical bytes appended to the active file (incl. buffered)
+	committed int64 // logical size as of the last appended commit record
+	nextSeq   int64 // sequence number the next sealed segment will take
+	// dirUnsynced records a failed post-rotation directory fsync so the next
+	// commit retries it; until then the rename (and the new active file's
+	// dir entry) may not survive a power loss.
+	dirUnsynced bool
 }
 
 // Options configures WAL behavior.
@@ -36,21 +72,67 @@ type Options struct {
 	// NoSync disables fsync on flush; used by benchmarks to isolate
 	// serialization cost from disk cost.
 	NoSync bool
+	// SegmentBytes rotates the active file into a sealed segment once it
+	// reaches this size at a commit boundary. 0 disables rotation (the WAL
+	// stays a single file, as before segmentation existed).
+	SegmentBytes int64
 }
 
-// OpenWAL opens (creating if needed) the WAL at path for appending.
+// OpenWAL opens (creating if needed) the WAL at path for appending. An
+// exclusive advisory lock on <path>.lock enforces a single session per
+// project across processes: every session both truncates (recovery drops
+// the uncommitted tail) and appends, so a second concurrent opener would
+// silently destroy the first one's in-flight records. A held lock makes
+// OpenWAL fail fast instead.
 func OpenWAL(path string, opts Options) (*WAL, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("storage: mkdir: %w", err)
 	}
+	lock, err := lockFile(path + ".lock")
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		lock.Close()
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
-	return &WAL{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, sync: !opts.NoSync}, nil
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		lock.Close()
+		return nil, fmt.Errorf("storage: stat wal: %w", err)
+	}
+	// Sequence numbers never restart: a snapshot claims to cover segments
+	// 1..Seq, so a new segment must number past both the surviving segments
+	// and the newest snapshot (whose covered segments compaction deleted).
+	segs, err := ListSegments(path)
+	if err != nil {
+		f.Close()
+		lock.Close()
+		return nil, err
+	}
+	snaps, err := ListSnapshots(path)
+	if err != nil {
+		f.Close()
+		lock.Close()
+		return nil, err
+	}
+	nextSeq := int64(1)
+	if len(segs) > 0 {
+		nextSeq = segs[len(segs)-1].Seq + 1
+	}
+	if len(snaps) > 0 && snaps[len(snaps)-1].Seq >= nextSeq {
+		nextSeq = snaps[len(snaps)-1].Seq + 1
+	}
+	return &WAL{
+		f: f, w: bufio.NewWriterSize(f, 1<<16), lock: lock, path: path,
+		sync: !opts.NoSync, segBytes: opts.SegmentBytes,
+		size: st.Size(), committed: st.Size(), nextSeq: nextSeq,
+	}, nil
 }
 
-// Path returns the WAL file path.
+// Path returns the active WAL file path.
 func (w *WAL) Path() string { return w.path }
 
 // Append buffers one record. It does not flush; call Flush (or append a
@@ -62,12 +144,17 @@ func (w *WAL) Append(rec any) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.appendLocked(line)
+}
+
+func (w *WAL) appendLocked(line []byte) error {
 	if _, err := w.w.Write(line); err != nil {
 		return fmt.Errorf("storage: append: %w", err)
 	}
 	if err := w.w.WriteByte('\n'); err != nil {
 		return fmt.Errorf("storage: append: %w", err)
 	}
+	w.size += int64(len(line)) + 1
 	w.pending++
 	return nil
 }
@@ -92,12 +179,124 @@ func (w *WAL) flushLocked() error {
 	return nil
 }
 
-// AppendCommit appends a commit record and flushes — the durable point.
+// AppendCommit appends a commit record and flushes — the durable point. If
+// the active file has reached the segment size it is rotated afterward, so
+// sealed segments always end with a commit record.
 func (w *WAL) AppendCommit(rec *record.CommitRecord) error {
-	if err := w.Append(rec); err != nil {
+	line, err := record.Encode(rec)
+	if err != nil {
 		return err
 	}
-	return w.Flush()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.appendLocked(line); err != nil {
+		return err
+	}
+	w.committed = w.size
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	if w.dirUnsynced && w.sync {
+		if err := syncDir(filepath.Dir(w.path)); err != nil {
+			return err
+		}
+		w.dirUnsynced = false
+	}
+	if w.segBytes > 0 && w.size >= w.segBytes {
+		// Rotation is space management, not part of the commit contract:
+		// the commit record is already durable, so a rotation failure must
+		// not make AppendCommit report failure (a caller would retry the
+		// committed transaction and duplicate it). The next commit — or an
+		// explicit Seal, which does surface errors — retries.
+		_, _ = w.rotateLocked()
+	}
+	return nil
+}
+
+// Seal flushes and rotates the active file into a sealed segment regardless
+// of the size threshold. It returns the sealed segment's sequence number, or
+// 0 when there was nothing safe to seal: an empty active file, or an
+// uncommitted tail (from a transaction in flight on another goroutine) that
+// must stay in the active file so recovery can truncate it.
+func (w *WAL) Seal() (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.flushLocked(); err != nil {
+		return 0, err
+	}
+	return w.rotateLocked()
+}
+
+// rotateLocked seals the active file when it is non-empty and fully
+// committed; otherwise it is a no-op returning sequence 0. The rename
+// happens with the old file still open (the fd follows the inode), so a
+// failure at any step leaves the WAL with a usable handle — rotation can
+// fail, but it never poisons the log.
+func (w *WAL) rotateLocked() (int64, error) {
+	if w.size == 0 || w.committed != w.size {
+		return 0, nil
+	}
+	seq := w.nextSeq
+	segPath := SegmentPath(w.path, seq)
+	if err := os.Rename(w.path, segPath); err != nil {
+		return 0, fmt.Errorf("storage: rotate: %w", err)
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Undo so the sealed name only ever holds segments the writer has
+		// abandoned; the still-open handle keeps appending to the original
+		// file either way.
+		if rerr := os.Rename(segPath, w.path); rerr != nil {
+			return 0, fmt.Errorf("storage: rotate reopen failed (%v) and undo rename failed: %w", err, rerr)
+		}
+		return 0, fmt.Errorf("storage: rotate: reopen: %w", err)
+	}
+	old := w.f
+	w.f = f
+	w.w.Reset(f)
+	w.size, w.committed = 0, 0
+	w.nextSeq++
+	// The sealed data was already flushed (and fsynced when sync is on)
+	// before rotation was attempted; a close error on the old fd loses
+	// nothing.
+	_ = old.Close()
+	if w.sync {
+		// Make the rename durable. On failure the in-memory and on-disk
+		// states are still individually consistent (recovery handles both
+		// the pre- and post-rename layouts), so report without undoing and
+		// let the next commit retry the directory sync.
+		if err := syncDir(filepath.Dir(w.path)); err != nil {
+			w.dirUnsynced = true
+			return seq, err
+		}
+	}
+	return seq, nil
+}
+
+// Truncate discards everything past off in the active file. Recovery uses it
+// to drop a torn or uncommitted tail before any new record is appended, so a
+// later commit cannot resurrect records that were not durable.
+func (w *WAL) Truncate(off int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	if off > w.size {
+		return fmt.Errorf("storage: truncate beyond end (%d > %d)", off, w.size)
+	}
+	if off < w.size {
+		if err := w.f.Truncate(off); err != nil {
+			return fmt.Errorf("storage: truncate: %w", err)
+		}
+		if w.sync {
+			if err := w.f.Sync(); err != nil {
+				return fmt.Errorf("storage: truncate sync: %w", err)
+			}
+		}
+	}
+	w.size, w.committed = off, off
+	return nil
 }
 
 // Pending reports how many records are buffered but not yet flushed.
@@ -107,111 +306,120 @@ func (w *WAL) Pending() int {
 	return w.pending
 }
 
-// Close flushes and closes the file.
+// Close flushes and closes the file, releasing the project lock.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.flushLocked(); err != nil {
-		return err
+	err := w.flushLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
 	}
-	return w.f.Close()
+	if w.lock != nil {
+		if lerr := w.lock.Close(); err == nil {
+			err = lerr
+		}
+		w.lock = nil
+	}
+	return err
 }
 
-// Replay streams every decodable record in the WAL at path to fn, in order.
-// A torn final line (crash mid-write) is tolerated and skipped; corruption
-// in the middle of the log is an error. Commit records delimit transactions:
-// when strictCommits is true, records after the last commit are not
-// delivered (uncommitted tail is invisible), matching flor.commit()
-// visibility semantics.
-func Replay(path string, strictCommits bool, fn func(rec any) error) error {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("storage: open for replay: %w", err)
-	}
-	defer f.Close()
+// TailCommitted reports whether everything appended so far is covered by a
+// commit record — i.e. the active file has no uncommitted tail.
+func (w *WAL) TailCommitted() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.committed == w.size
+}
 
-	data, err := io.ReadAll(f)
+// Segment is one sealed, immutable WAL segment.
+type Segment struct {
+	Seq  int64
+	Path string
+}
+
+// SegmentPath returns the path of the sealed segment with the given sequence
+// number for the WAL at walPath.
+func SegmentPath(walPath string, seq int64) string {
+	return fmt.Sprintf("%s.%09d", walPath, seq)
+}
+
+// SnapshotPath returns the path of the snapshot covering segments 1..seq for
+// the WAL at walPath.
+func SnapshotPath(walPath string, seq int64) string {
+	return fmt.Sprintf("%s.snap.%09d", walPath, seq)
+}
+
+// ListSegments returns the sealed segments of the WAL at walPath in
+// ascending sequence order. The active file is not included.
+func ListSegments(walPath string) ([]Segment, error) {
+	return listNumbered(walPath, "", func(seq int64, path string) Segment {
+		return Segment{Seq: seq, Path: path}
+	})
+}
+
+// SnapshotFile is one durable table snapshot next to the WAL.
+type SnapshotFile struct {
+	Seq  int64 // highest segment sequence the snapshot covers
+	Path string
+}
+
+// ListSnapshots returns the snapshots next to the WAL at walPath in
+// ascending coverage order (newest last).
+func ListSnapshots(walPath string) ([]SnapshotFile, error) {
+	return listNumbered(walPath, "snap.", func(seq int64, path string) SnapshotFile {
+		return SnapshotFile{Seq: seq, Path: path}
+	})
+}
+
+// listNumbered collects files named <walPath>.<kind><9 digits>, sorted by the
+// numeric suffix.
+func listNumbered[T any](walPath, kind string, mk func(int64, string) T) ([]T, error) {
+	dir, base := filepath.Split(walPath)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
 	if err != nil {
-		return fmt.Errorf("storage: read wal: %w", err)
+		return nil, fmt.Errorf("storage: list wal files: %w", err)
 	}
-	lines := bytes.Split(data, []byte{'\n'})
-	// Determine the last commit position when strict.
-	lastCommit := -1
-	type parsed struct {
-		rec any
-		ok  bool
+	prefix := base + "." + kind
+	type numbered struct {
+		seq int64
+		val T
 	}
-	records := make([]parsed, len(lines))
-	for i, line := range lines {
-		if len(bytes.TrimSpace(line)) == 0 {
+	var out []numbered
+	for _, e := range entries {
+		name := e.Name()
+		suffix, ok := strings.CutPrefix(name, prefix)
+		if !ok || len(suffix) != 9 {
 			continue
 		}
-		rec, err := record.Decode(line)
-		if err != nil {
-			// Only the final non-empty line may be torn.
-			if isLastContent(lines, i) {
-				break
-			}
-			return fmt.Errorf("storage: corrupt wal record at line %d: %w", i+1, err)
-		}
-		records[i] = parsed{rec: rec, ok: true}
-		if _, isCommit := rec.(*record.CommitRecord); isCommit {
-			lastCommit = i
-		}
-	}
-	for i, p := range records {
-		if !p.ok {
+		seq, err := strconv.ParseInt(suffix, 10, 64)
+		if err != nil || seq <= 0 {
 			continue
 		}
-		if strictCommits && i > lastCommit {
-			break
-		}
-		if err := fn(p.rec); err != nil {
-			return err
-		}
+		out = append(out, numbered{seq: seq, val: mk(seq, filepath.Join(dir, name))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	vals := make([]T, len(out))
+	for i, n := range out {
+		vals[i] = n.val
+	}
+	return vals, nil
+}
+
+// syncDir fsyncs a directory so renames and deletes within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
 	}
 	return nil
-}
-
-func isLastContent(lines [][]byte, i int) bool {
-	for j := i + 1; j < len(lines); j++ {
-		if len(bytes.TrimSpace(lines[j])) != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Recover replays the WAL into the given tables. It returns the highest
-// tstamp seen and the number of records applied.
-func Recover(path string, tables *record.Tables, strictCommits bool) (maxTstamp int64, applied int, err error) {
-	err = Replay(path, strictCommits, func(rec any) error {
-		if err := tables.Apply(rec); err != nil {
-			return err
-		}
-		applied++
-		switch r := rec.(type) {
-		case *record.LogRecord:
-			if r.Tstamp > maxTstamp {
-				maxTstamp = r.Tstamp
-			}
-		case *record.LoopRecord:
-			if r.Tstamp > maxTstamp {
-				maxTstamp = r.Tstamp
-			}
-		case *record.ArgRecord:
-			if r.Tstamp > maxTstamp {
-				maxTstamp = r.Tstamp
-			}
-		case *record.CommitRecord:
-			if r.Tstamp > maxTstamp {
-				maxTstamp = r.Tstamp
-			}
-		}
-		return nil
-	})
-	return maxTstamp, applied, err
 }

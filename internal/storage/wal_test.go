@@ -136,15 +136,20 @@ func TestRecoverIntoTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	maxTs, applied, err := Recover(path, tables, true)
+	res, err := RecoverTables(path, tables, nil, "", true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if applied != 4 || maxTs != 5 {
-		t.Fatalf("applied=%d maxTs=%d", applied, maxTs)
+	if res.Applied != 4 || res.MaxTstamp != 5 {
+		t.Fatalf("applied=%d maxTs=%d", res.Applied, res.MaxTstamp)
 	}
 	if tables.Logs.Len() != 1 || tables.Loops.Len() != 1 || tables.Args.Len() != 1 {
 		t.Fatal("tables not populated")
+	}
+	// The commit record carried a version id, so recovery materialized its
+	// ts2vid row (full session semantics, unlike plain Tables.Apply).
+	if tables.Ts2vid.Len() != 1 {
+		t.Fatalf("ts2vid rows = %d, want 1", tables.Ts2vid.Len())
 	}
 }
 
