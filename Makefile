@@ -1,6 +1,6 @@
 # Development targets. `make check` is what CI runs.
 
-.PHONY: check fmt vet build test bench bench-full fuzz
+.PHONY: check fmt vet build test race-stress bench bench-full fuzz
 
 check: fmt vet build test bench
 
@@ -16,6 +16,12 @@ build:
 
 test:
 	go test -race ./...
+
+# race-stress hammers the concurrent serving core (snapshot equivalence,
+# SQL+RunScript+Compact stress, close draining, group commit) repeatedly
+# with elevated parallelism; CI runs it on each push.
+race-stress:
+	GOMAXPROCS=8 go test -race -run Concurrent -count=3 -timeout 15m ./...
 
 # bench runs every benchmark once and snapshots the machine-readable output
 # to BENCH_latest.json; CI uploads it as an artifact so the perf trajectory

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	flor "flordb"
+)
+
+// seedProject writes a small committed project under dir.
+func seedProject(t *testing.T, dir string) {
+	t.Helper()
+	sess, err := flor.Open(dir, "pdf-parser", flor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetFilename("train.go")
+	for it := sess.Loop("epoch", 2); it.Next(); {
+		sess.Log("acc", 0.5+0.25*float64(it.Index()))
+	}
+	if err := sess.Commit("seed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("command failed: %v (output: %s)", runErr, out)
+	}
+	return string(out)
+}
+
+const cliQuery = "SELECT value_name, value FROM logs WHERE value_name = 'acc' ORDER BY value"
+
+func TestCLISQLFormatJSON(t *testing.T) {
+	dir := t.TempDir()
+	seedProject(t, dir)
+	out := captureStdout(t, func() error {
+		return run([]string{"sql", "--dir", dir, "--format", "json", cliQuery})
+	})
+	var resp struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if len(resp.Columns) != 2 || len(resp.Rows) != 2 {
+		t.Fatalf("shape: %+v", resp)
+	}
+	if resp.Rows[0][0] != "acc" || resp.Rows[0][1] != "0.5" {
+		t.Fatalf("rows: %v", resp.Rows)
+	}
+}
+
+func TestCLISQLFormatCSV(t *testing.T) {
+	dir := t.TempDir()
+	seedProject(t, dir)
+	out := captureStdout(t, func() error {
+		return run([]string{"sql", "--dir", dir, "--format", "csv", cliQuery})
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines: %q", out)
+	}
+	if lines[0] != "value_name,value" || lines[1] != "acc,0.5" {
+		t.Fatalf("csv content: %q", out)
+	}
+}
+
+func TestCLISQLFormatTableDefault(t *testing.T) {
+	dir := t.TempDir()
+	seedProject(t, dir)
+	out := captureStdout(t, func() error {
+		return run([]string{"sql", "--dir", dir, cliQuery})
+	})
+	if !strings.HasPrefix(out, "value_name\tvalue\n") || !strings.Contains(out, "acc\t0.5") {
+		t.Fatalf("table output: %q", out)
+	}
+}
+
+func TestCLISQLFormatUnknown(t *testing.T) {
+	dir := t.TempDir()
+	seedProject(t, dir)
+	err := run([]string{"sql", "--dir", dir, "--format", "yaml", cliQuery})
+	if err == nil || !strings.Contains(err.Error(), "unknown --format") {
+		t.Fatalf("unknown format error: %v", err)
+	}
+}

@@ -4,29 +4,43 @@
 //	flordb hindsight <script.flow> <new.flow>         propagate + replay new logs
 //	flordb dataframe <name> [<name> ...]              pivoted metadata view
 //	flordb sql "<query>"                              SQL over the Figure-1 schema
+//	flordb sql --format json|csv "<query>"            machine-readable output
 //	flordb sql "EXPLAIN <query>"                      show the chosen query plan
 //	flordb versions <script.flow>                     committed versions of a file
 //	flordb compact                                    fold WAL history into a snapshot
 //	flordb build <Makefile> <goal>                    run a pipeline Makefile
-//	flordb serve [--addr :8080]                       Figure-6 feedback web UI
+//	flordb serve [--addr :8080]                       feedback web UI + SQL-over-HTTP API
 //	flordb demo                                       end-to-end PDF-parser demo
+//
+// serve mounts the Figure-6 feedback UI at / and the JSON query API at
+// /sql, /explain, /dataframe and /healthz, with bounded request admission
+// and graceful shutdown on SIGINT/SIGTERM.
 //
 // State lives under ./.flor in the working directory (override with --dir).
 package main
 
 import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	flor "flordb"
 	"flordb/internal/build"
 	"flordb/internal/docsim"
 	"flordb/internal/hostlib"
 	"flordb/internal/mlsim"
+	"flordb/internal/server"
+	"flordb/internal/sqlparse"
 	"flordb/internal/vcs"
 	"flordb/internal/webui"
 )
@@ -54,6 +68,9 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address for serve")
 	docs := fs.Int("docs", 8, "synthetic corpus size")
 	seed := fs.Int("seed", 1, "corpus seed")
+	format := fs.String("format", "table", "sql output format: table|json|csv")
+	maxInFlight := fs.Int("max-inflight", 32, "serve: max concurrently executing API queries")
+	maxQueue := fs.Int("max-queue", 64, "serve: max API queries waiting for a slot before 429")
 	var scriptArgs argList
 	fs.Var(&scriptArgs, "arg", "script argument name=value (repeatable)")
 	if err := fs.Parse(rest); err != nil {
@@ -159,15 +176,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(strings.Join(res.Columns, "\t"))
-		for _, r := range res.Rows {
-			parts := make([]string, len(r))
-			for i, v := range r {
-				parts[i] = v.String()
-			}
-			fmt.Println(strings.Join(parts, "\t"))
-		}
-		return nil
+		return printSQLResult(os.Stdout, res, *format)
 
 	case "versions":
 		if len(pos) != 1 {
@@ -259,21 +268,107 @@ func run(args []string) error {
 		}
 		defer sess.Close()
 		model := mlsim.NewMLP(st.Dim, 32, 2, mlsim.NewRNG(7))
-		srv := webui.NewServer(sess, st.Corpus, func(doc *docsim.Document) []bool {
+		ui := webui.NewServer(sess, st.Corpus, func(doc *docsim.Document) []bool {
 			out := make([]bool, len(doc.Pages))
 			for i, p := range doc.Pages {
 				out[i] = model.Predict(docsim.Vectorize(p, st.Dim)) == 1
 			}
 			return out
 		})
-		fmt.Printf("serving the PDF Parser feedback UI on %s\n", *addr)
-		return http.ListenAndServe(*addr, srv)
+		api := server.New(sess, server.Config{MaxInFlight: *maxInFlight, MaxQueue: *maxQueue})
+		// One mux: the JSON query API next to the Figure-6 feedback UI,
+		// both reading the same session through snapshots.
+		mux := http.NewServeMux()
+		mux.Handle("/sql", api)
+		mux.Handle("/explain", api)
+		mux.Handle("/dataframe", api)
+		mux.Handle("/healthz", api)
+		mux.Handle("/", ui)
+
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		hs := &http.Server{Addr: *addr, Handler: mux}
+		errc := make(chan error, 1)
+		go func() { errc <- hs.ListenAndServe() }()
+		fmt.Printf("serving the feedback UI and SQL API on %s (SIGINT/SIGTERM to drain and stop)\n", *addr)
+		select {
+		case err := <-errc:
+			return err
+		case <-ctx.Done():
+		}
+		// Restore default signal handling first, so a second SIGINT kills a
+		// drain stuck behind a slow client instead of being swallowed; the
+		// drain itself is bounded for the same reason.
+		stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			hs.Close() // drain deadline hit: drop the stragglers
+			return err
+		}
+		<-errc // http.ErrServerClosed
+		fmt.Println("drained in-flight requests; bye")
+		return nil
 
 	case "demo":
 		return runDemo(*dir, *proj, *docs, uint64(*seed))
 
 	default:
 		return usage()
+	}
+}
+
+// printSQLResult renders a query result for scripting or humans:
+//
+//	table  tab-separated columns (the default, unchanged)
+//	json   {"columns":[...],"rows":[[...],...]} with typed values
+//	csv    RFC-4180 CSV with a header row
+func printSQLResult(w io.Writer, res *sqlparse.Result, format string) error {
+	switch format {
+	case "table", "":
+		fmt.Fprintln(w, strings.Join(res.Columns, "\t"))
+		for _, r := range res.Rows {
+			parts := make([]string, len(r))
+			for i, v := range r {
+				parts[i] = v.String()
+			}
+			fmt.Fprintln(w, strings.Join(parts, "\t"))
+		}
+		return nil
+	case "json":
+		rows := make([][]any, len(res.Rows))
+		for i, r := range res.Rows {
+			row := make([]any, len(r))
+			for j, v := range r {
+				row[j] = v.JSON()
+			}
+			rows[i] = row
+		}
+		enc := json.NewEncoder(w)
+		return enc.Encode(map[string]any{"columns": res.Columns, "rows": rows})
+	case "csv":
+		cw := csv.NewWriter(w)
+		if err := cw.Write(res.Columns); err != nil {
+			return err
+		}
+		fields := make([]string, 0, len(res.Columns))
+		for _, r := range res.Rows {
+			fields = fields[:0]
+			for _, v := range r {
+				if v.IsNull() {
+					fields = append(fields, "")
+				} else {
+					fields = append(fields, v.String())
+				}
+			}
+			if err := cw.Write(fields); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	default:
+		return fmt.Errorf("unknown --format %q (want table, json, or csv)", format)
 	}
 }
 

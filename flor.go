@@ -28,6 +28,7 @@
 package flor
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -54,9 +55,17 @@ type Snapshotter = script.Snapshotter
 // Dataframe is the pivoted metadata view (flor.dataframe in the paper).
 type Dataframe = pivot.Dataframe
 
-// Session is one FlorDB project handle. It owns the metadata database, the
-// WAL, the checkpoint blob store, and the version-control repository.
-// Methods are safe for concurrent use unless noted.
+// ErrClosed is returned by Session methods called after Close.
+var ErrClosed = errors.New("flor: session is closed")
+
+// Session is one FlorDB project handle: a shared engine owning the metadata
+// database, the WAL, the checkpoint blob store, and the version-control
+// repository. Methods are safe for concurrent use unless noted.
+//
+// The read and write paths are decoupled: queries (SQL, Explain, Dataframe,
+// Reader) run against pinned MVCC snapshots of the relational kernel and
+// never block — or are blocked by — concurrent logging; commits group-commit
+// in the WAL, so concurrent committers coalesce into a single fsync.
 type Session struct {
 	ProjID string
 
@@ -77,7 +86,28 @@ type Session struct {
 	cliArgs   map[string]string
 	rootTgt   string
 	stdout    io.Writer
+	plans     *sqlparse.PlanCache
+
+	// Lifecycle: begin/end bracket every public operation so Close can
+	// refuse new work (ErrClosed) and drain what is in flight before
+	// releasing the WAL.
+	closeMu  sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
 }
+
+// begin admits one public operation, failing once the session is closed.
+func (s *Session) begin() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+func (s *Session) end() { s.inflight.Done() }
 
 // Options configures session opening.
 type Options struct {
@@ -161,6 +191,7 @@ func newSession(projid, dir string, wal *storage.WAL, blobs *storage.BlobStore, 
 		hosts:     make(map[string]script.HostFunc),
 		cliArgs:   opts.Args,
 		stdout:    opts.Stdout,
+		plans:     sqlparse.NewPlanCache(0),
 	}
 	if s.stdout == nil {
 		s.stdout = io.Discard
@@ -175,6 +206,9 @@ func newSession(projid, dir string, wal *storage.WAL, blobs *storage.BlobStore, 
 		if maxTs >= s.tstamp {
 			s.tstamp = maxTs + 1
 		}
+		// Recovered rows were written at the in-flight epoch; publish them
+		// so committed-epoch snapshots see the recovered state.
+		db.AdvanceEpoch()
 	}
 
 	// Register the git virtual table over the repo.
@@ -248,8 +282,13 @@ func (s *Session) SetFilename(name string) {
 
 // ---------- Native Go API (§2.1) ----------
 
-// Log records a named value and returns it (flor.log).
+// Log records a named value and returns it (flor.log). On a closed session
+// the value passes through unrecorded.
 func (s *Session) Log(name string, v any) any {
+	if s.begin() != nil {
+		return v
+	}
+	defer s.end()
 	out, err := s.recorder.Log(name, toScriptValue(v))
 	if err != nil {
 		return v
@@ -298,6 +337,10 @@ type LoopIter struct {
 // Loop begins a named loop over n iterations (flor.loop). Iterate with
 // Next/Index; the loop closes itself when Next returns false.
 func (s *Session) Loop(name string, n int) *LoopIter {
+	if err := s.begin(); err != nil {
+		return &LoopIter{n: n, i: -1, err: err}
+	}
+	defer s.end()
 	vals := make([]script.Value, n)
 	for i := range vals {
 		vals[i] = int64(i)
@@ -308,6 +351,10 @@ func (s *Session) Loop(name string, n int) *LoopIter {
 
 // LoopVals begins a named loop over explicit values (e.g. document names).
 func (s *Session) LoopVals(name string, vals []string) *LoopIter {
+	if err := s.begin(); err != nil {
+		return &LoopIter{n: len(vals), i: -1, err: err}
+	}
+	defer s.end()
 	sv := make([]script.Value, len(vals))
 	for i, v := range vals {
 		sv[i] = v
@@ -364,6 +411,10 @@ type CheckpointScope struct{ rec *replay.Recorder }
 
 // Checkpointing registers objects for adaptive checkpointing.
 func (s *Session) Checkpointing(objs map[string]Snapshotter) (*CheckpointScope, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	m := make(map[string]script.Value, len(objs))
 	for k, v := range objs {
 		m[k] = v
@@ -387,10 +438,20 @@ func (s *Session) StageFile(name, contents string) {
 
 // Commit is flor.commit(): it snapshots the staged workspace into the
 // version store, writes the ts2vid row, appends a durable commit record,
-// and increments the logical timestamp (§2.1).
+// increments the logical timestamp, and publishes the epoch so committed
+// snapshots see the transaction (§2.1).
+//
+// The WAL fsync happens outside the session mutex: concurrent committers
+// coalesce into one group-commit fsync instead of queueing a disk flush
+// each, and loggers on other goroutines are never stalled behind a commit's
+// disk wait.
 func (s *Session) Commit(message string) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var vid string
 	if len(s.workspace) > 0 {
 		files := make(map[string]string, len(s.workspace))
@@ -399,6 +460,7 @@ func (s *Session) Commit(message string) error {
 		}
 		v, err := s.repo.CommitFiles(files, message, time.Now())
 		if err != nil {
+			s.mu.Unlock()
 			return err
 		}
 		vid = v
@@ -406,26 +468,40 @@ func (s *Session) Commit(message string) error {
 			relation.Text(s.ProjID), relation.Int(s.tstamp), relation.Int(s.tstamp),
 			relation.Text(vid), relation.Text(s.rootTgt),
 		}); err != nil {
+			s.mu.Unlock()
 			return err
 		}
 	}
+	var rec *record.CommitRecord
 	if s.wal != nil {
-		rec := &record.CommitRecord{
+		rec = &record.CommitRecord{
 			Kind: record.KindCommit, ProjID: s.ProjID, Tstamp: s.tstamp,
 			VID: vid, Wall: time.Now().UTC(),
-		}
-		if err := s.wal.AppendCommit(rec); err != nil {
-			return err
 		}
 	}
 	if s.dir != "" {
 		if err := s.repo.Save(filepath.Join(s.dir, ".flor", "repo.json")); err != nil {
+			s.mu.Unlock()
 			return err
 		}
 	}
 	s.tstamp++
 	s.recorder.Ctx.SetTstamp(s.tstamp)
+	s.mu.Unlock()
+
+	if rec != nil {
+		// Group commit: append under the WAL's short lock, then ride a
+		// shared fsync with any other committers in flight.
+		if err := s.wal.AppendCommit(rec); err != nil {
+			return err
+		}
+	}
+	// Publish the commit boundary: rows logged before this point become
+	// visible to committed-epoch snapshots taken from now on.
+	s.db.AdvanceEpoch()
+
 	if s.wal != nil && s.snapEvery > 0 {
+		s.mu.Lock()
 		s.sinceSnap++
 		if s.sinceSnap >= s.snapEvery {
 			// Compaction is an optimization, not part of commit durability:
@@ -440,6 +516,7 @@ func (s *Session) Commit(message string) error {
 				s.sinceSnap = 0
 			}
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -449,6 +526,10 @@ func (s *Session) Commit(message string) error {
 // O(total history). It is safe to call while other goroutines log and
 // commit; only data committed before the call is guaranteed to be covered.
 func (s *Session) Compact() (storage.CompactStats, error) {
+	if err := s.begin(); err != nil {
+		return storage.CompactStats{}, err
+	}
+	defer s.end()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.compactLocked()
@@ -464,34 +545,143 @@ func (s *Session) compactLocked() (storage.CompactStats, error) {
 
 // ---------- Query surface ----------
 
+// SnapshotView is a cheap, immutable reader handle pinned to one epoch of
+// the session's database. Pinning copies nothing; any number of views can
+// query concurrently with each other and with the writing session, and a
+// multi-table join inside one view always observes a single consistent
+// state. Views stay readable after the session closes (they reference only
+// in-memory state), but new views cannot be created then.
+type SnapshotView struct {
+	sess *Session
+	snap *relation.Snapshot
+	view *record.TablesView
+}
+
+// Reader pins a read-only view at the current committed epoch: every
+// transaction committed before the call is visible, transactions in flight
+// are not. This is the handle concurrent serving paths (dashboards, the
+// HTTP API, the web UI) should hold per request.
+//
+// Commit boundaries are session-global, mirroring the WAL's durability
+// contract (a commit record covers every record appended before it): a
+// Commit publishes all rows logged before it, whichever goroutine logged
+// them. Transaction atomicity under Reader therefore holds when write
+// transactions are serialized — as RunScript-driven writes are — not when
+// independent goroutines interleave Log/Commit sequences on one session.
+func (s *Session) Reader() (*SnapshotView, error) {
+	return s.makeView((*relation.Database).Snapshot)
+}
+
+// LatestReader pins a view at the in-flight write epoch: committed state
+// plus the session's own uncommitted rows. It preserves read-your-writes
+// for the recording process itself (a training loop inspecting metrics it
+// just logged); serving paths should prefer Reader.
+func (s *Session) LatestReader() (*SnapshotView, error) {
+	return s.makeView((*relation.Database).SnapshotLatest)
+}
+
+func (s *Session) makeView(pin func(*relation.Database) *relation.Snapshot) (*SnapshotView, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	snap := pin(s.db)
+	view, err := s.tables.At(snap)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotView{sess: s, snap: snap, view: view}, nil
+}
+
+// Epoch returns the committed epoch the view is pinned at.
+func (v *SnapshotView) Epoch() int64 { return v.snap.Epoch() }
+
+// SQL runs a SQL query against the pinned state. Repeated query texts hit
+// the session's LRU plan cache.
+func (v *SnapshotView) SQL(query string) (*sqlparse.Result, error) {
+	stmt, err := v.sess.plans.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return sqlparse.Execute(v.snap, stmt)
+}
+
+// Explain returns the plan the planner chooses for the query against the
+// pinned state.
+func (v *SnapshotView) Explain(query string) (string, error) {
+	return explain(v.sess.plans, v.snap, query)
+}
+
+// Dataframe pivots the named logged values across all versions visible in
+// the view.
+func (v *SnapshotView) Dataframe(names ...string) (*Dataframe, error) {
+	return pivot.Build(v.view, v.sess.ProjID, names, pivot.Options{})
+}
+
+// DataframeAt pivots restricted to one file and/or version.
+func (v *SnapshotView) DataframeAt(filename string, tstamp int64, names ...string) (*Dataframe, error) {
+	return pivot.Build(v.view, v.sess.ProjID, names, pivot.Options{Filename: filename, Tstamp: tstamp})
+}
+
 // Dataframe pivots the named logged values across all versions (§2.1
-// flor.dataframe).
+// flor.dataframe). It reads through a latest-epoch snapshot: concurrent
+// logging cannot disturb the pivot mid-build.
 func (s *Session) Dataframe(names ...string) (*Dataframe, error) {
-	return pivot.Build(s.tables, s.ProjID, names, pivot.Options{})
+	v, err := s.LatestReader()
+	if err != nil {
+		return nil, err
+	}
+	return v.Dataframe(names...)
 }
 
 // DataframeAt pivots restricted to one file and/or version.
 func (s *Session) DataframeAt(filename string, tstamp int64, names ...string) (*Dataframe, error) {
-	return pivot.Build(s.tables, s.ProjID, names, pivot.Options{Filename: filename, Tstamp: tstamp})
+	v, err := s.LatestReader()
+	if err != nil {
+		return nil, err
+	}
+	return v.DataframeAt(filename, tstamp, names...)
 }
 
 // SQL runs a SQL query over the Figure-1 schema (logs, loops, ts2vid,
 // obj_store, args, git, build_deps when registered). Prefix a query with
-// EXPLAIN to get the chosen query plan instead of rows.
+// EXPLAIN to get the chosen query plan instead of rows. The query executes
+// against a latest-epoch snapshot pinned at call time, so multi-table joins
+// are consistent even while other goroutines log; repeated query texts hit
+// the LRU plan cache.
 func (s *Session) SQL(query string) (*sqlparse.Result, error) {
-	return sqlparse.Run(s.db, query)
+	v, err := s.LatestReader()
+	if err != nil {
+		return nil, err
+	}
+	return v.SQL(query)
 }
 
 // Explain returns the query plan the planner chose for a SQL query as
 // indented text, one operator per line — equivalent to running the query
 // with an EXPLAIN prefix.
 func (s *Session) Explain(query string) (string, error) {
-	stmt, err := sqlparse.Parse(query)
+	v, err := s.LatestReader()
 	if err != nil {
 		return "", err
 	}
-	stmt.Explain = true
-	res, err := sqlparse.Execute(s.db, stmt)
+	return v.Explain(query)
+}
+
+// explain renders the chosen plan for a query against a catalog. The cached
+// statement is never mutated: when the text lacks an EXPLAIN prefix, a
+// shallow copy carries the flag.
+func explain(plans *sqlparse.PlanCache, cat relation.Catalog, query string) (string, error) {
+	stmt, err := plans.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	if !stmt.Explain {
+		clone := *stmt
+		clone.Explain = true
+		stmt = &clone
+	}
+	res, err := sqlparse.Execute(cat, stmt)
 	if err != nil {
 		return "", err
 	}
@@ -508,6 +698,16 @@ func (s *Session) Database() *relation.Database { return s.db }
 
 // Tables exposes the base tables (read-mostly; used by the web UI).
 func (s *Session) Tables() *record.Tables { return s.tables }
+
+// WALSyncCount reports how many fsyncs the session's WAL has performed
+// (0 for in-memory sessions) — group-commit observability: under N
+// concurrent committers it should grow by ~1 per coalesced batch.
+func (s *Session) WALSyncCount() int64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.SyncCount()
+}
 
 // Hooks exposes the session's recording hooks for direct use with a Flow
 // interpreter (benchmarks isolate hook cost this way; normal callers should
@@ -538,6 +738,10 @@ func (s *Session) RegisterHost(name string, fn script.HostFunc) {
 // recording attributes every record to the session's current filename, so
 // concurrent callers (parallel build targets, web UI handlers) queue here.
 func (s *Session) RunScript(filename, src string) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
 	f, err := script.Parse(filename, src)
 	if err != nil {
 		return err
@@ -582,6 +786,10 @@ type HindsightReport = replay.VersionReport
 // when the WAL tail was clean at the start would also cover records logged
 // mid-backfill.
 func (s *Session) Hindsight(filename, newSrc string, targets []int) ([]HindsightReport, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	versions, err := replay.HistoricalVersions(s.repo, s.tables, s.ProjID, filename)
 	if err != nil {
 		return nil, err
@@ -626,6 +834,9 @@ func (s *Session) Hindsight(filename, newSrc string, targets []int) ([]Hindsight
 		if werr != nil {
 			return reports, werr
 		}
+		// The marker is a commit boundary: publish the backfilled rows to
+		// committed-epoch snapshot readers as well.
+		s.db.AdvanceEpoch()
 	}
 	return reports, err
 }
@@ -662,10 +873,20 @@ func (s *Session) LoggedNamesAcrossVersions() map[int64][]string {
 	return out
 }
 
-// Close flushes and closes the session's durable resources.
+// Close marks the session closed, drains in-flight operations (readers,
+// queries, commits, script runs), and then flushes and closes the durable
+// resources. Once Close begins, new public API calls fail with ErrClosed;
+// Close itself is idempotent. SnapshotViews pinned before Close remain
+// readable — they reference only immutable in-memory state.
 func (s *Session) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	s.inflight.Wait()
 	if s.wal != nil {
 		return s.wal.Close()
 	}

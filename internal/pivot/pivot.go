@@ -40,8 +40,11 @@ type Options struct {
 	Tstamp int64
 }
 
-// Build pivots the requested value names for a project.
-func Build(tables *record.Tables, projid string, names []string, opts Options) (*Dataframe, error) {
+// Build pivots the requested value names for a project. It reads through a
+// TablesView, so the pivot can run against the live tables (latest
+// visibility) or a pinned database snapshot — concurrent writers never
+// disturb a snapshot-backed build.
+func Build(tables *record.TablesView, projid string, names []string, opts Options) (*Dataframe, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("pivot: no value names requested")
 	}

@@ -68,7 +68,7 @@ func fixture(t *testing.T) *record.Tables {
 
 func TestPivotFigure3Shape(t *testing.T) {
 	tables := fixture(t)
-	df, err := Build(tables, "pdf", []string{"text_src", "page_text"}, Options{})
+	df, err := Build(tables.View(), "pdf", []string{"text_src", "page_text"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestPivotFigure3Shape(t *testing.T) {
 
 func TestPivotFigure5MetricsAcrossVersions(t *testing.T) {
 	tables := fixture(t)
-	df, err := Build(tables, "pdf", []string{"acc", "recall"}, Options{})
+	df, err := Build(tables.View(), "pdf", []string{"acc", "recall"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestPivotMixedLevelsYieldNullDims(t *testing.T) {
 	tables := fixture(t)
 	// text_src lives at page level; acc at epoch level (different file and
 	// dims): requesting both gives a union of dimension columns with NULLs.
-	df, err := Build(tables, "pdf", []string{"text_src", "acc"}, Options{})
+	df, err := Build(tables.View(), "pdf", []string{"text_src", "acc"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestPivotMixedLevelsYieldNullDims(t *testing.T) {
 
 func TestPivotFilenameAndTstampFilters(t *testing.T) {
 	tables := fixture(t)
-	df, err := Build(tables, "pdf", []string{"acc"}, Options{Filename: "train.flow", Tstamp: 2})
+	df, err := Build(tables.View(), "pdf", []string{"acc"}, Options{Filename: "train.flow", Tstamp: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestPivotFilenameAndTstampFilters(t *testing.T) {
 
 func TestLatest(t *testing.T) {
 	tables := fixture(t)
-	df, _ := Build(tables, "pdf", []string{"acc"}, Options{})
+	df, _ := Build(tables.View(), "pdf", []string{"acc"}, Options{})
 	latest := df.Latest()
 	if latest.Len() != 2 {
 		t.Fatalf("latest rows = %d", latest.Len())
@@ -198,7 +198,7 @@ func TestLatest(t *testing.T) {
 
 func TestArgMaxSelectsBestCheckpoint(t *testing.T) {
 	tables := fixture(t)
-	df, _ := Build(tables, "pdf", []string{"acc", "recall"}, Options{})
+	df, _ := Build(tables.View(), "pdf", []string{"acc", "recall"}, Options{})
 	best, err := df.ArgMax("acc")
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +217,7 @@ func TestArgMaxSelectsBestCheckpoint(t *testing.T) {
 
 func TestSortByAndColumn(t *testing.T) {
 	tables := fixture(t)
-	df, _ := Build(tables, "pdf", []string{"acc"}, Options{})
+	df, _ := Build(tables.View(), "pdf", []string{"acc"}, Options{})
 	sorted, err := df.SortBy("acc", true)
 	if err != nil {
 		t.Fatal(err)
@@ -241,7 +241,7 @@ func TestSortByAndColumn(t *testing.T) {
 
 func TestFilter(t *testing.T) {
 	tables := fixture(t)
-	df, _ := Build(tables, "pdf", []string{"text_src"}, Options{})
+	df, _ := Build(tables.View(), "pdf", []string{"text_src"}, Options{})
 	i := df.Index("text_src")
 	ocr := df.Filter(func(r relation.Row) bool { return r[i].AsText() == "OCR" })
 	if ocr.Len() != 2 {
@@ -251,7 +251,7 @@ func TestFilter(t *testing.T) {
 
 func TestToTableAndSQLBridge(t *testing.T) {
 	tables := fixture(t)
-	df, _ := Build(tables, "pdf", []string{"acc", "recall"}, Options{})
+	df, _ := Build(tables.View(), "pdf", []string{"acc", "recall"}, Options{})
 	tbl, err := df.ToTable("metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -267,7 +267,7 @@ func TestToTableAndSQLBridge(t *testing.T) {
 
 func TestRenderString(t *testing.T) {
 	tables := fixture(t)
-	df, _ := Build(tables, "pdf", []string{"acc"}, Options{})
+	df, _ := Build(tables.View(), "pdf", []string{"acc"}, Options{})
 	out := df.String()
 	if !strings.Contains(out, "epoch_value") || !strings.Contains(out, "train.flow") {
 		t.Fatalf("render:\n%s", out)
@@ -300,13 +300,13 @@ func TestToCSV(t *testing.T) {
 
 func TestBuildErrors(t *testing.T) {
 	tables := fixture(t)
-	if _, err := Build(tables, "pdf", nil, Options{}); err == nil {
+	if _, err := Build(tables.View(), "pdf", nil, Options{}); err == nil {
 		t.Fatal("no names must error")
 	}
-	if _, err := Build(tables, "pdf", []string{"a", "a"}, Options{}); err == nil {
+	if _, err := Build(tables.View(), "pdf", []string{"a", "a"}, Options{}); err == nil {
 		t.Fatal("duplicate names must error")
 	}
-	df, err := Build(tables, "missing-project", []string{"acc"}, Options{})
+	df, err := Build(tables.View(), "missing-project", []string{"acc"}, Options{})
 	if err != nil || df.Len() != 0 {
 		t.Fatalf("missing project: %v %d", err, df.Len())
 	}
@@ -350,11 +350,11 @@ func TestPivotIndexFastPathEquivalence(t *testing.T) {
 		{[]string{"text_src", "page_text"}, Options{Filename: "featurize.flow"}},
 		{[]string{"missing"}, Options{}},
 	} {
-		fast, err := Build(indexed, "pdf", tc.names, tc.opts)
+		fast, err := Build(indexed.View(), "pdf", tc.names, tc.opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		slow, err := Build(bare, "pdf", tc.names, tc.opts)
+		slow, err := Build(bare.View(), "pdf", tc.names, tc.opts)
 		if err != nil {
 			t.Fatal(err)
 		}

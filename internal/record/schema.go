@@ -96,13 +96,55 @@ func BuildDepsSchema() *relation.Schema {
 	)
 }
 
-// Tables bundles the base tables of a FlorDB database instance.
+// Tables bundles the base tables of a FlorDB database instance — the write
+// surface. Read paths that must not observe concurrent writers use a
+// TablesView pinned to a database snapshot instead (Tables.At).
 type Tables struct {
 	Logs     *relation.Table
 	Loops    *relation.Table
 	Ts2vid   *relation.Table
 	ObjStore *relation.Table
 	Args     *relation.Table
+}
+
+// TablesView is the read surface over the Figure-1 base tables: either the
+// live tables (latest visibility) or their pinned snapshots (one-epoch
+// visibility). The pivot engine and blob accessors operate on it, so the
+// same code serves the recording session and concurrent snapshot readers.
+type TablesView struct {
+	Logs     relation.TableReader
+	Loops    relation.TableReader
+	Ts2vid   relation.TableReader
+	ObjStore relation.TableReader
+	Args     relation.TableReader
+}
+
+// View returns the latest-visibility read surface over the live tables.
+func (t *Tables) View() *TablesView {
+	return &TablesView{
+		Logs: t.Logs, Loops: t.Loops, Ts2vid: t.Ts2vid,
+		ObjStore: t.ObjStore, Args: t.Args,
+	}
+}
+
+// At returns the read surface pinned to a database snapshot. It fails if the
+// snapshot does not carry the Figure-1 base tables.
+func (t *Tables) At(snap *relation.Snapshot) (*TablesView, error) {
+	v := &TablesView{}
+	for _, bind := range []struct {
+		name string
+		dst  *relation.TableReader
+	}{
+		{"logs", &v.Logs}, {"loops", &v.Loops}, {"ts2vid", &v.Ts2vid},
+		{"obj_store", &v.ObjStore}, {"args", &v.Args},
+	} {
+		r, ok := snap.Reader(bind.name)
+		if !ok {
+			return nil, fmt.Errorf("record: snapshot is missing base table %q", bind.name)
+		}
+		*bind.dst = r
+	}
+	return v, nil
 }
 
 // CreateTables creates all base tables in the database and installs the
@@ -208,39 +250,36 @@ func (t *Tables) PutBlob(projid string, tstamp int64, filename string, ctxID int
 // exactly the given tstamp, used by replay to load a specific version's
 // checkpoints.
 func (t *Tables) GetBlobExact(projid, name string, tstamp int64) ([]byte, bool) {
-	var out []byte
-	found := false
-	ix, ok := t.ObjStore.HashIndexOn("projid", "value_name")
-	check := func(r relation.Row) {
-		if r[1].AsInt() == tstamp {
-			out = r[5].AsBlob()
-			found = true
-		}
-	}
-	if ok {
-		for _, id := range ix.Lookup(relation.Text(projid), relation.Text(name)) {
-			if r, live := t.ObjStore.Get(id); live {
-				check(r)
-			}
-		}
-	} else {
-		t.ObjStore.Scan(func(_ relation.RowID, r relation.Row) bool {
-			if r[0].AsText() == projid && r[4].AsText() == name {
-				check(r)
-			}
-			return true
-		})
-	}
-	return out, found
+	return t.View().GetBlobExact(projid, name, tstamp)
 }
 
 // GetBlob retrieves the most recent obj_store blob for (projid, name) with
 // tstamp <= atOrBefore (or any tstamp when atOrBefore < 0).
 func (t *Tables) GetBlob(projid, name string, atOrBefore int64) ([]byte, bool) {
+	return t.View().GetBlob(projid, name, atOrBefore)
+}
+
+// GetBlobExact retrieves the obj_store blob for (projid, name) written at
+// exactly the given tstamp, honoring the view's visibility.
+func (v *TablesView) GetBlobExact(projid, name string, tstamp int64) ([]byte, bool) {
+	var out []byte
+	found := false
+	v.eachBlobRow(projid, name, func(r relation.Row) {
+		if r[1].AsInt() == tstamp {
+			out = r[5].AsBlob()
+			found = true
+		}
+	})
+	return out, found
+}
+
+// GetBlob retrieves the most recent obj_store blob for (projid, name) with
+// tstamp <= atOrBefore (or any tstamp when atOrBefore < 0), honoring the
+// view's visibility.
+func (v *TablesView) GetBlob(projid, name string, atOrBefore int64) ([]byte, bool) {
 	var best []byte
 	var bestTs int64 = -1
-	ix, ok := t.ObjStore.HashIndexOn("projid", "value_name")
-	scan := func(r relation.Row) {
+	v.eachBlobRow(projid, name, func(r relation.Row) {
 		ts := r[1].AsInt()
 		if atOrBefore >= 0 && ts > atOrBefore {
 			return
@@ -249,20 +288,25 @@ func (t *Tables) GetBlob(projid, name string, atOrBefore int64) ([]byte, bool) {
 			bestTs = ts
 			best = r[5].AsBlob()
 		}
-	}
-	if ok {
+	})
+	return best, bestTs >= 0
+}
+
+// eachBlobRow visits the visible obj_store rows for (projid, name), through
+// the hash index when present.
+func (v *TablesView) eachBlobRow(projid, name string, fn func(relation.Row)) {
+	if ix, ok := v.ObjStore.HashIndexOn("projid", "value_name"); ok {
 		for _, id := range ix.Lookup(relation.Text(projid), relation.Text(name)) {
-			if r, live := t.ObjStore.Get(id); live {
-				scan(r)
+			if r, live := v.ObjStore.Get(id); live {
+				fn(r)
 			}
 		}
-	} else {
-		t.ObjStore.Scan(func(_ relation.RowID, r relation.Row) bool {
-			if r[0].AsText() == projid && r[4].AsText() == name {
-				scan(r)
-			}
-			return true
-		})
+		return
 	}
-	return best, bestTs >= 0
+	v.ObjStore.Scan(func(_ relation.RowID, r relation.Row) bool {
+		if r[0].AsText() == projid && r[4].AsText() == name {
+			fn(r)
+		}
+		return true
+	})
 }

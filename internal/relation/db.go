@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // VirtualTable produces rows on demand; FlorDB uses virtual tables for the
@@ -16,15 +17,30 @@ type VirtualTable interface {
 	Rows() []Row
 }
 
-// Database is a named collection of base and virtual tables. It is the
-// catalog against which the SQL layer resolves table names.
+// Catalog is the read surface the SQL layer resolves table names against and
+// plans over: either the live Database (latest visibility) or a pinned
+// Snapshot (one-epoch visibility).
+type Catalog interface {
+	// Reader returns the named base table's read surface, if it exists.
+	Reader(name string) (TableReader, bool)
+	// Source returns an iterator over any table, base or virtual.
+	Source(name string) (Iterator, error)
+	// SchemaOf returns the schema of any table, base or virtual.
+	SchemaOf(name string) (*Schema, error)
+}
+
+// Database is a named collection of base and virtual tables and the epoch
+// authority for MVCC visibility: all of its tables share one epoch counter,
+// which advances at commit boundaries, so Snapshot can pin a consistent view
+// of every table at once.
 type Database struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	virtual map[string]VirtualTable
+	epoch   atomic.Int64 // committed epoch; rows written now belong to epoch+1
 }
 
-// NewDatabase creates an empty database.
+// NewDatabase creates an empty database at epoch 0.
 func NewDatabase() *Database {
 	return &Database{
 		tables:  make(map[string]*Table),
@@ -32,7 +48,50 @@ func NewDatabase() *Database {
 	}
 }
 
-// CreateTable creates a base table; it fails if the name is taken.
+// Epoch returns the current committed epoch.
+func (db *Database) Epoch() int64 { return db.epoch.Load() }
+
+// AdvanceEpoch publishes the in-flight write epoch: rows written since the
+// previous advance become visible to committed-epoch snapshots taken from
+// now on. It returns the new committed epoch. Callers invoke it at commit
+// boundaries, after the corresponding WAL commit record is durable.
+func (db *Database) AdvanceEpoch() int64 { return db.epoch.Add(1) }
+
+// Snapshot pins an immutable, consistent view of all tables at the current
+// committed epoch, without copying any data. Readers holding the snapshot
+// never block writers and are never blocked by them; rows committed after
+// the pin — and rows of transactions in flight at the pin — are invisible.
+func (db *Database) Snapshot() *Snapshot { return db.snapshotAt(db.epoch.Load()) }
+
+// SnapshotLatest pins a view at the in-flight write epoch: committed rows
+// plus whatever uncommitted rows were published at pin time. A session uses
+// it for its own queries so it reads its own writes; concurrent serving
+// paths should prefer Snapshot.
+func (db *Database) SnapshotLatest() *Snapshot { return db.snapshotAt(db.epoch.Load() + 1) }
+
+// snapshotAt reads the epoch before pinning table states: state publication
+// happens before the epoch advance in every writer, so any table state read
+// afterwards includes every row committed at or before the pinned epoch
+// (later rows are filtered by their born epoch).
+func (db *Database) snapshotAt(epoch int64) *Snapshot {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := &Snapshot{
+		epoch:   epoch,
+		tables:  make(map[string]*TableSnapshot, len(db.tables)),
+		virtual: make(map[string]VirtualTable, len(db.virtual)),
+	}
+	for key, t := range db.tables {
+		s.tables[key] = t.At(epoch)
+	}
+	for key, v := range db.virtual {
+		s.virtual[key] = v
+	}
+	return s
+}
+
+// CreateTable creates a base table; it fails if the name is taken. The table
+// shares the database's epoch counter.
 func (db *Database) CreateTable(name string, schema *Schema) (*Table, error) {
 	key := strings.ToLower(name)
 	db.mu.Lock()
@@ -44,6 +103,7 @@ func (db *Database) CreateTable(name string, schema *Schema) (*Table, error) {
 		return nil, fmt.Errorf("relation: virtual table %q already exists", name)
 	}
 	t := NewTable(name, schema)
+	t.epoch = &db.epoch
 	db.tables[key] = t
 	return t, nil
 }
@@ -69,6 +129,15 @@ func (db *Database) Table(name string) (*Table, bool) {
 	defer db.mu.RUnlock()
 	t, ok := db.tables[strings.ToLower(name)]
 	return t, ok
+}
+
+// Reader implements Catalog with latest visibility.
+func (db *Database) Reader(name string) (TableReader, bool) {
+	t, ok := db.Table(name)
+	if !ok {
+		return nil, false
+	}
+	return t, true
 }
 
 // DropTable removes a base table.
@@ -128,6 +197,78 @@ func (db *Database) Names() []string {
 	sort.Strings(out)
 	return out
 }
+
+// Snapshot is an immutable, consistent view of a database's tables pinned at
+// one epoch. It implements Catalog, so the SQL layer runs against it exactly
+// as it runs against the live database — every query (including multi-table
+// joins) observes one state. Virtual tables are not versioned: their rows
+// are derived from external stores (the version-control repo, the build
+// system) and materialize at read time.
+type Snapshot struct {
+	epoch   int64
+	tables  map[string]*TableSnapshot
+	virtual map[string]VirtualTable
+}
+
+// Epoch returns the epoch the snapshot is pinned at.
+func (s *Snapshot) Epoch() int64 { return s.epoch }
+
+// Table returns the named table's pinned view.
+func (s *Snapshot) Table(name string) (*TableSnapshot, bool) {
+	v, ok := s.tables[strings.ToLower(name)]
+	return v, ok
+}
+
+// Reader implements Catalog with the snapshot's epoch visibility.
+func (s *Snapshot) Reader(name string) (TableReader, bool) {
+	v, ok := s.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// Source implements Catalog.
+func (s *Snapshot) Source(name string) (Iterator, error) {
+	key := strings.ToLower(name)
+	if t, ok := s.tables[key]; ok {
+		return NewScan(t), nil
+	}
+	if v, ok := s.virtual[key]; ok {
+		return NewLazyScan(v.Schema(), v.Rows), nil
+	}
+	return nil, fmt.Errorf("relation: no table %q", name)
+}
+
+// SchemaOf implements Catalog.
+func (s *Snapshot) SchemaOf(name string) (*Schema, error) {
+	key := strings.ToLower(name)
+	if t, ok := s.tables[key]; ok {
+		return t.Schema(), nil
+	}
+	if v, ok := s.virtual[key]; ok {
+		return v.Schema(), nil
+	}
+	return nil, fmt.Errorf("relation: no table %q", name)
+}
+
+// Names lists all table names (base then virtual), sorted.
+func (s *Snapshot) Names() []string {
+	var out []string
+	for _, t := range s.tables {
+		out = append(out, t.Name())
+	}
+	for _, v := range s.virtual {
+		out = append(out, v.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	_ Catalog = (*Database)(nil)
+	_ Catalog = (*Snapshot)(nil)
+)
 
 // FuncVirtualTable adapts a closure into a VirtualTable.
 type FuncVirtualTable struct {

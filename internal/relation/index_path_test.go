@@ -22,8 +22,10 @@ func scoreTable(t *testing.T, scores []Value) (*Table, *OrderedIndex) {
 }
 
 func TestScanConcurrentWithInserts(t *testing.T) {
-	// Scan snapshots under one RLock; concurrent inserts and deletes must
-	// neither race (run with -race) nor disturb an in-flight scan.
+	// Scan walks a lock-free published state; concurrent inserts and deletes
+	// must neither race (run with -race) nor disturb an in-flight scan. The
+	// writer is bounded: readers no longer throttle it, so an unbounded
+	// writer would grow the table quadratically under the race detector.
 	tab := NewTable("t", testSchema(t))
 	if _, err := tab.CreateHashIndex("name"); err != nil {
 		t.Fatal(err)
@@ -38,7 +40,7 @@ func TestScanConcurrentWithInserts(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := 100; ; i++ {
+		for i := 100; i < 50000; i++ {
 			select {
 			case <-stop:
 				return
@@ -166,9 +168,11 @@ func TestRangeBoundsTombstonedRows(t *testing.T) {
 	if !tab.Delete(victim) {
 		t.Fatal("delete failed")
 	}
+	// The tombstoned row stays indexed (older snapshots may still see it);
+	// visibility filtering happens when ids resolve to rows.
 	ids := ix.RangeBounds(Float(0.0), Float(1.0), true, true)
-	if len(ids) != 2 {
-		t.Fatalf("range over tombstoned table returned %d ids, want 2", len(ids))
+	if len(ids) != 3 {
+		t.Fatalf("range over tombstoned table returned %d ids, want 3 candidates", len(ids))
 	}
 	if rows := tab.RowsByIDs(ids); len(rows) != 2 {
 		t.Fatalf("RowsByIDs resolved %d rows, want 2", len(rows))

@@ -37,9 +37,9 @@ type ScanOp struct {
 	i      int
 }
 
-// NewScan returns a scan operator over the table; the table is snapshotted on
-// first Next.
-func NewScan(t *Table) *ScanOp {
+// NewScan returns a scan operator over a table read surface (a live table or
+// a pinned snapshot); rows materialize on first Next.
+func NewScan(t TableReader) *ScanOp {
 	return &ScanOp{schema: t.Schema(), src: t.Rows}
 }
 
@@ -75,9 +75,10 @@ func (s *ScanOp) Next() (Row, bool) {
 
 // NewIndexLookup builds the equality-index access path over the hash index
 // covering cols: each entry of keys is one full key tuple (multiple tuples
-// serve IN-list plans). The lookup resolves lazily on first Next. It fails
-// if no such index exists.
-func NewIndexLookup(t *Table, cols []string, keys [][]Value) (*ScanOp, error) {
+// serve IN-list plans). The lookup resolves lazily on first Next, filtering
+// candidate ids through the reader's row visibility. It fails if no such
+// index exists.
+func NewIndexLookup(t TableReader, cols []string, keys [][]Value) (*ScanOp, error) {
 	ix, ok := t.HashIndexOn(cols...)
 	if !ok {
 		return nil, fmt.Errorf("relation: table %s has no hash index on %v", t.Name(), cols)
@@ -99,8 +100,8 @@ func NewIndexLookup(t *Table, cols []string, keys [][]Value) (*ScanOp, error) {
 // NewIndexRange builds the range-index access path over the ordered index on
 // col, producing matching rows in ascending value order. NULL bounds mean
 // unbounded; NULL-valued rows are never produced. The range resolves lazily
-// on first Next.
-func NewIndexRange(t *Table, col string, lo, hi Value, loIncl, hiIncl bool) (*ScanOp, error) {
+// on first Next, filtering candidate ids through the reader's visibility.
+func NewIndexRange(t TableReader, col string, lo, hi Value, loIncl, hiIncl bool) (*ScanOp, error) {
 	ix, ok := t.OrderedIndexOn(col)
 	if !ok {
 		return nil, fmt.Errorf("relation: table %s has no ordered index on %s", t.Name(), col)

@@ -5,35 +5,67 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // RowID identifies a row within a table for the table's lifetime. IDs are
 // never reused; deleted rows leave tombstones.
 type RowID int64
 
-// Table is a heap-resident relation with optional secondary indexes. Rows
-// live in a dense slice indexed by RowID (append-only; a delete leaves a nil
-// tombstone), which keeps inserts, point lookups, and bulk snapshot loads
-// O(1) with no hashing. All methods are safe for concurrent use.
+// Table is a heap-resident relation with optional secondary indexes, stored
+// as an epoch-based multiversion (MVCC) row store:
+//
+//   - The row slice is append-only. Every row carries the epoch it was born
+//     in; a delete does not remove the row but stamps a tombstone epoch.
+//   - Writers serialize on an internal mutex and publish each change as a new
+//     immutable tableState via an atomic pointer.
+//   - Readers load the published state without taking any lock: "latest"
+//     reads (the Table methods below) see every published row whose tombstone
+//     is unset, while snapshot reads (Database.Snapshot / Table.At) see
+//     exactly the rows visible at one pinned epoch — with zero copying.
+//
+// Epochs advance at commit boundaries (Database.AdvanceEpoch). Rows written
+// between commits are stamped with the next epoch, so a committed-epoch
+// snapshot never observes a transaction in flight.
 type Table struct {
-	mu      sync.RWMutex
-	name    string
-	schema  *Schema
-	rows    []Row // RowID-indexed; nil = tombstone
-	live    int
-	deleted int
+	name   string
+	schema *Schema
+	epoch  *atomic.Int64 // committed-epoch counter, shared with the owning Database
+
+	mu    sync.Mutex // serializes writers; readers never take it
+	state atomic.Pointer[tableState]
+}
+
+// tableState is one published version of a table. All slices are append-only
+// between states: a newer state may share backing arrays with an older one,
+// but entries below a state's length are never mutated after that state is
+// published — Delete and Update copy the tombstone array before stamping
+// (copy-on-write), so a pinned state is immutable in the strongest sense
+// and readers need no atomics.
+type tableState struct {
+	rows []Row   // RowID-indexed; never nil'd — deletes set a tombstone epoch
+	born []int64 // epoch at which the row became visible
+	dead []int64 // 0 = live; otherwise the epoch at which the row was deleted
+	live int     // live rows in the latest view (tombstones excluded)
+
+	// Secondary indexes. Index entries are added on insert and retained on
+	// delete (older snapshots still need them); readers filter candidate
+	// RowIDs through row visibility. The maps are copy-on-write: creating an
+	// index publishes a new state with a new map.
 	indexes map[string]*HashIndex
 	ordered map[string]*OrderedIndex
 }
 
-// NewTable creates an empty table with the given schema.
+// NewTable creates an empty table with the given schema. The table gets a
+// private epoch counter; tables created through Database.CreateTable share
+// the database's counter so one snapshot can pin all tables consistently.
 func NewTable(name string, schema *Schema) *Table {
-	return &Table{
-		name:    name,
-		schema:  schema,
+	t := &Table{name: name, schema: schema, epoch: new(atomic.Int64)}
+	t.state.Store(&tableState{
 		indexes: make(map[string]*HashIndex),
 		ordered: make(map[string]*OrderedIndex),
-	}
+	})
+	return t
 }
 
 // Name returns the table name.
@@ -42,15 +74,16 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
-// Len returns the number of live rows.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.live
-}
+// writeEpoch is the epoch stamped on rows born or killed now: the epoch the
+// in-flight transaction will publish at its commit boundary.
+func (t *Table) writeEpoch() int64 { return t.epoch.Load() + 1 }
+
+// Len returns the number of live rows in the latest view.
+func (t *Table) Len() int { return t.state.Load().live }
 
 // Insert validates and appends a row, maintaining all indexes. It returns
-// the new row's RowID.
+// the new row's RowID. The row becomes visible to committed-epoch snapshots
+// once the owning database's epoch advances past the current one.
 func (t *Table) Insert(r Row) (RowID, error) {
 	valid, err := t.schema.Validate(r)
 	if err != nil {
@@ -58,15 +91,23 @@ func (t *Table) Insert(r Row) (RowID, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	id := RowID(len(t.rows))
-	t.rows = append(t.rows, valid)
-	t.live++
-	for _, ix := range t.indexes {
+	st := t.state.Load()
+	id := RowID(len(st.rows))
+	ns := &tableState{
+		rows:    append(st.rows, valid),
+		born:    append(st.born, t.writeEpoch()),
+		dead:    append(st.dead, 0),
+		live:    st.live + 1,
+		indexes: st.indexes,
+		ordered: st.ordered,
+	}
+	for _, ix := range ns.indexes {
 		ix.add(id, valid)
 	}
-	for _, ix := range t.ordered {
+	for _, ix := range ns.ordered {
 		ix.add(id, valid)
 	}
+	t.state.Store(ns)
 	return id, nil
 }
 
@@ -84,15 +125,30 @@ func (t *Table) LoadRows(rows []Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	start := RowID(len(t.rows))
-	t.rows = append(t.rows, rows...)
-	t.live += len(rows)
-	for _, ix := range t.indexes {
+	st := t.state.Load()
+	start := RowID(len(st.rows))
+	e := t.writeEpoch()
+	born := slices.Grow(st.born, len(rows))
+	dead := slices.Grow(st.dead, len(rows))
+	for range rows {
+		born = append(born, e)
+		dead = append(dead, 0)
+	}
+	ns := &tableState{
+		rows:    append(st.rows, rows...),
+		born:    born,
+		dead:    dead,
+		live:    st.live + len(rows),
+		indexes: st.indexes,
+		ordered: st.ordered,
+	}
+	for _, ix := range ns.indexes {
 		ix.bulkAdd(start, rows)
 	}
-	for _, ix := range t.ordered {
+	for _, ix := range ns.ordered {
 		ix.bulkAdd(start, rows)
 	}
+	t.state.Store(ns)
 	return nil
 }
 
@@ -109,108 +165,148 @@ func (t *Table) InsertMany(rows []Row) error {
 // Get returns the row with the given id, or false if it was deleted or never
 // existed. The returned row must not be mutated.
 func (t *Table) Get(id RowID) (Row, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if id < 0 || int(id) >= len(t.rows) || t.rows[id] == nil {
+	st := t.state.Load()
+	if id < 0 || int(id) >= len(st.rows) || st.dead[id] != 0 {
 		return nil, false
 	}
-	return t.rows[id], true
+	return st.rows[id], true
 }
 
-// Delete removes a row by id. It reports whether a live row was removed.
+// tombstoned returns a copy of dead with id stamped at epoch e. Tombstones
+// copy-on-write instead of mutating in place so every already-published
+// state — including latest-epoch views pinned mid-transaction — stays
+// exactly as pinned. Deletes are rare in FlorDB's append-mostly workload,
+// so the O(rows) copy is a fair trade for lock-free, atomics-free readers.
+func (s *tableState) tombstoned(id RowID, e int64) []int64 {
+	dead := make([]int64, len(s.dead))
+	copy(dead, s.dead)
+	dead[id] = e
+	return dead
+}
+
+// Delete tombstones a row by id at the current write epoch. It reports
+// whether a live row was removed. The row stays visible to snapshots pinned
+// at earlier epochs (and to any view pinned before the delete); latest
+// reads stop seeing it immediately.
 func (t *Table) Delete(id RowID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if id < 0 || int(id) >= len(t.rows) || t.rows[id] == nil {
+	st := t.state.Load()
+	if id < 0 || int(id) >= len(st.rows) || st.dead[id] != 0 {
 		return false
 	}
-	r := t.rows[id]
-	t.rows[id] = nil
-	t.live--
-	t.deleted++
-	for _, ix := range t.indexes {
-		ix.remove(id, r)
+	ns := &tableState{
+		rows: st.rows, born: st.born, dead: st.tombstoned(id, t.writeEpoch()),
+		live: st.live - 1, indexes: st.indexes, ordered: st.ordered,
 	}
-	for _, ix := range t.ordered {
-		ix.remove(id, r)
-	}
+	t.state.Store(ns)
 	return true
 }
 
-// Update replaces the row with the given id, revalidating and reindexing.
-func (t *Table) Update(id RowID, r Row) error {
+// Update replaces the row with the given id by tombstoning it and appending
+// the new version, whose RowID is returned. Snapshots pinned before the
+// update keep seeing the old version under the old id; the swap publishes
+// as one state store, so no reader ever observes the row absent or doubled.
+func (t *Table) Update(id RowID, r Row) (RowID, error) {
 	valid, err := t.schema.Validate(r)
 	if err != nil {
-		return fmt.Errorf("table %s: %w", t.name, err)
+		return 0, fmt.Errorf("table %s: %w", t.name, err)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if id < 0 || int(id) >= len(t.rows) || t.rows[id] == nil {
-		return fmt.Errorf("table %s: update of missing row %d", t.name, id)
+	st := t.state.Load()
+	if id < 0 || int(id) >= len(st.rows) || st.dead[id] != 0 {
+		return 0, fmt.Errorf("table %s: update of missing row %d", t.name, id)
 	}
-	old := t.rows[id]
-	for _, ix := range t.indexes {
-		ix.remove(id, old)
-		ix.add(id, valid)
+	e := t.writeEpoch()
+	nid := RowID(len(st.rows))
+	ns := &tableState{
+		rows:    append(st.rows, valid),
+		born:    append(st.born, e),
+		dead:    append(st.tombstoned(id, e), 0),
+		live:    st.live,
+		indexes: st.indexes,
+		ordered: st.ordered,
 	}
-	for _, ix := range t.ordered {
-		ix.remove(id, old)
-		ix.add(id, valid)
+	for _, ix := range ns.indexes {
+		ix.add(nid, valid)
 	}
-	t.rows[id] = valid
-	return nil
+	for _, ix := range ns.ordered {
+		ix.add(nid, valid)
+	}
+	t.state.Store(ns)
+	return nid, nil
 }
 
 // Scan calls fn for each live row in insertion order; returning false stops
-// the scan. The row must not be mutated. The scan observes a snapshot taken
-// under one RLock; rows inserted or deleted while fn runs are not reflected.
-type scanEntry struct {
-	id RowID
-	r  Row
-}
-
+// the scan. The row must not be mutated. The scan walks the published state
+// directly — no lock is taken and nothing is copied; rows inserted or
+// deleted after the state was loaded are not reflected.
 func (t *Table) Scan(fn func(id RowID, r Row) bool) {
-	t.mu.RLock()
-	snap := make([]scanEntry, 0, t.live)
-	for id, r := range t.rows {
-		if r != nil {
-			snap = append(snap, scanEntry{id: RowID(id), r: r})
-		}
-	}
-	t.mu.RUnlock()
-	for _, e := range snap {
-		if !fn(e.id, e.r) {
-			return
+	t.state.Load().scan(latestEpoch, fn)
+}
+
+// latestEpoch makes every published, non-tombstoned row visible.
+const latestEpoch = int64(1)<<62 - 1
+
+// scan walks the rows visible at the given epoch.
+func (s *tableState) scan(epoch int64, fn func(id RowID, r Row) bool) {
+	for id := range s.rows {
+		if s.visible(RowID(id), epoch) {
+			if !fn(RowID(id), s.rows[id]) {
+				return
+			}
 		}
 	}
 }
 
-// RowsByIDs returns the live rows among ids in the given order, resolving
-// every id under a single RLock. Index access paths use it to fetch the rows
-// an index lookup produced.
-func (t *Table) RowsByIDs(ids []RowID) []Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+// visible reports whether row id exists at the given epoch: born at or
+// before it, not tombstoned at or before it. Published states are immutable
+// below their length (tombstones copy-on-write), so plain reads suffice.
+func (s *tableState) visible(id RowID, epoch int64) bool {
+	if id < 0 || int(id) >= len(s.rows) || s.born[id] > epoch {
+		return false
+	}
+	d := s.dead[id]
+	return d == 0 || d > epoch
+}
+
+func (s *tableState) rowsAt(epoch int64) []Row {
+	out := make([]Row, 0, s.live)
+	for id := range s.rows {
+		if s.visible(RowID(id), epoch) {
+			out = append(out, s.rows[id])
+		}
+	}
+	return out
+}
+
+func (s *tableState) rowsByIDsAt(epoch int64, ids []RowID) []Row {
 	out := make([]Row, 0, len(ids))
 	for _, id := range ids {
-		if id >= 0 && int(id) < len(t.rows) && t.rows[id] != nil {
-			out = append(out, t.rows[id])
+		if s.visible(id, epoch) {
+			out = append(out, s.rows[id])
 		}
 	}
 	return out
 }
 
-// Rows returns a snapshot of all live rows in insertion order.
+// RowsByIDs returns the live rows among ids in the given order. Index access
+// paths use it to fetch the rows an index lookup produced.
+func (t *Table) RowsByIDs(ids []RowID) []Row {
+	return t.state.Load().rowsByIDsAt(latestEpoch, ids)
+}
+
+// Rows returns the live rows in insertion order.
 func (t *Table) Rows() []Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]Row, 0, t.live)
-	for _, r := range t.rows {
-		if r != nil {
-			out = append(out, r)
-		}
-	}
-	return out
+	return t.state.Load().rowsAt(latestEpoch)
+}
+
+// At pins the table's current state at the given epoch, returning a
+// consistent immutable view. Most callers want Database.Snapshot, which pins
+// every table of a database at one epoch.
+func (t *Table) At(epoch int64) *TableSnapshot {
+	return &TableSnapshot{name: t.name, schema: t.schema, epoch: epoch, st: t.state.Load()}
 }
 
 // CreateHashIndex builds (or returns the existing) hash index over the named
@@ -223,16 +319,22 @@ func (t *Table) CreateHashIndex(cols ...string) (*HashIndex, error) {
 	key := indexKey(cols)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if ix, ok := t.indexes[key]; ok {
+	st := t.state.Load()
+	if ix, ok := st.indexes[key]; ok {
 		return ix, nil
 	}
 	ix := newHashIndex(cols, positions)
-	for id, r := range t.rows {
-		if r != nil {
-			ix.add(RowID(id), r)
-		}
+	ix.bulkAdd(0, st.rows)
+	indexes := make(map[string]*HashIndex, len(st.indexes)+1)
+	for k, v := range st.indexes {
+		indexes[k] = v
 	}
-	t.indexes[key] = ix
+	indexes[key] = ix
+	ns := &tableState{
+		rows: st.rows, born: st.born, dead: st.dead, live: st.live,
+		indexes: indexes, ordered: st.ordered,
+	}
+	t.state.Store(ns)
 	return ix, nil
 }
 
@@ -246,42 +348,48 @@ func (t *Table) CreateOrderedIndex(col string) (*OrderedIndex, error) {
 	key := indexKey([]string{col})
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if ix, ok := t.ordered[key]; ok {
+	st := t.state.Load()
+	if ix, ok := st.ordered[key]; ok {
 		return ix, nil
 	}
 	ix := newOrderedIndex(col, positions[0])
-	for id, r := range t.rows {
-		if r != nil {
-			ix.add(RowID(id), r)
-		}
+	ix.bulkAdd(0, st.rows)
+	ordered := make(map[string]*OrderedIndex, len(st.ordered)+1)
+	for k, v := range st.ordered {
+		ordered[k] = v
 	}
-	t.ordered[key] = ix
+	ordered[key] = ix
+	ns := &tableState{
+		rows: st.rows, born: st.born, dead: st.dead, live: st.live,
+		indexes: st.indexes, ordered: ordered,
+	}
+	t.state.Store(ns)
 	return ix, nil
 }
 
 // HashIndexOn returns the hash index over the given columns, if present.
+// Lookups may return tombstoned or not-yet-visible rows; resolve the ids
+// through RowsByIDs (or a snapshot) to apply visibility.
 func (t *Table) HashIndexOn(cols ...string) (*HashIndex, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ix, ok := t.indexes[indexKey(cols)]
+	ix, ok := t.state.Load().indexes[indexKey(cols)]
 	return ix, ok
 }
 
 // OrderedIndexOn returns the ordered index over the given column, if present.
 func (t *Table) OrderedIndexOn(col string) (*OrderedIndex, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ix, ok := t.ordered[indexKey([]string{col})]
+	ix, ok := t.state.Load().ordered[indexKey([]string{col})]
 	return ix, ok
 }
 
 // HashIndexColumns lists the column sets of the table's hash indexes, sorted
 // widest-first so planners can prefer the most selective covering index.
 func (t *Table) HashIndexColumns() [][]string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([][]string, 0, len(t.indexes))
-	for _, ix := range t.indexes {
+	return t.state.Load().hashIndexColumns()
+}
+
+func (s *tableState) hashIndexColumns() [][]string {
+	out := make([][]string, 0, len(s.indexes))
+	for _, ix := range s.indexes {
 		out = append(out, append([]string(nil), ix.cols...))
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -295,10 +403,12 @@ func (t *Table) HashIndexColumns() [][]string {
 
 // OrderedIndexColumns lists the columns carrying ordered indexes, sorted.
 func (t *Table) OrderedIndexColumns() []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]string, 0, len(t.ordered))
-	for _, ix := range t.ordered {
+	return t.state.Load().orderedIndexColumns()
+}
+
+func (s *tableState) orderedIndexColumns() []string {
+	out := make([]string, 0, len(s.ordered))
+	for _, ix := range s.ordered {
 		out = append(out, ix.col)
 	}
 	sort.Strings(out)
@@ -328,15 +438,99 @@ func indexKey(cols []string) string {
 	return out
 }
 
+// TableSnapshot is an immutable view of one table pinned at one epoch. All
+// methods are lock-free and safe for concurrent use; none of them copy the
+// row store. It implements TableReader.
+type TableSnapshot struct {
+	name   string
+	schema *Schema
+	epoch  int64
+	st     *tableState
+}
+
+// Name returns the table name.
+func (v *TableSnapshot) Name() string { return v.name }
+
+// Schema returns the table schema.
+func (v *TableSnapshot) Schema() *Schema { return v.schema }
+
+// Epoch returns the epoch the view is pinned at.
+func (v *TableSnapshot) Epoch() int64 { return v.epoch }
+
+// Len estimates the number of rows visible in the view. It is exact when no
+// writer was mid-transaction at pin time; planners use it only to size hash
+// joins and pick build sides, so the estimate is deliberately O(1).
+func (v *TableSnapshot) Len() int { return v.st.live }
+
+// Scan calls fn for each visible row in insertion order.
+func (v *TableSnapshot) Scan(fn func(id RowID, r Row) bool) { v.st.scan(v.epoch, fn) }
+
+// Get returns the row with the given id if it is visible in the view.
+func (v *TableSnapshot) Get(id RowID) (Row, bool) {
+	if !v.st.visible(id, v.epoch) {
+		return nil, false
+	}
+	return v.st.rows[id], true
+}
+
+// Rows returns the visible rows in insertion order.
+func (v *TableSnapshot) Rows() []Row { return v.st.rowsAt(v.epoch) }
+
+// RowsByIDs returns the visible rows among ids in the given order.
+func (v *TableSnapshot) RowsByIDs(ids []RowID) []Row { return v.st.rowsByIDsAt(v.epoch, ids) }
+
+// HashIndexOn returns the hash index over the given columns, if present.
+func (v *TableSnapshot) HashIndexOn(cols ...string) (*HashIndex, bool) {
+	ix, ok := v.st.indexes[indexKey(cols)]
+	return ix, ok
+}
+
+// OrderedIndexOn returns the ordered index over the given column, if present.
+func (v *TableSnapshot) OrderedIndexOn(col string) (*OrderedIndex, bool) {
+	ix, ok := v.st.ordered[indexKey([]string{col})]
+	return ix, ok
+}
+
+// HashIndexColumns lists the column sets of the table's hash indexes.
+func (v *TableSnapshot) HashIndexColumns() [][]string { return v.st.hashIndexColumns() }
+
+// OrderedIndexColumns lists the columns carrying ordered indexes.
+func (v *TableSnapshot) OrderedIndexColumns() []string { return v.st.orderedIndexColumns() }
+
+// TableReader is the read surface shared by live tables (latest visibility)
+// and pinned TableSnapshots (epoch visibility). The SQL planner, the pivot
+// engine, and every other reader operate on it, so the same code path serves
+// both a single-user session and concurrent snapshot readers.
+type TableReader interface {
+	Name() string
+	Schema() *Schema
+	Len() int
+	Scan(fn func(id RowID, r Row) bool)
+	Get(id RowID) (Row, bool)
+	Rows() []Row
+	RowsByIDs(ids []RowID) []Row
+	HashIndexOn(cols ...string) (*HashIndex, bool)
+	OrderedIndexOn(col string) (*OrderedIndex, bool)
+	HashIndexColumns() [][]string
+	OrderedIndexColumns() []string
+}
+
+var (
+	_ TableReader = (*Table)(nil)
+	_ TableReader = (*TableSnapshot)(nil)
+)
+
 // HashIndex is an equality index over one or more columns. Buckets hold a
 // pointer to their id slice so the hot add path appends through the pointer
-// without allocating a string key per insertion.
+// without allocating a string key per insertion. Entries are retained when
+// rows are tombstoned: MVCC readers filter candidate ids through row
+// visibility instead.
 type HashIndex struct {
 	mu        sync.RWMutex
 	cols      []string
 	positions []int
 	buckets   map[string]*[]RowID
-	keyBuf    []byte // reused under mu for add/remove key building
+	keyBuf    []byte // reused under mu for add key building
 }
 
 func newHashIndex(cols []string, positions []int) *HashIndex {
@@ -386,26 +580,10 @@ func (ix *HashIndex) addLocked(id RowID, r Row) {
 	*ids = append(*ids, id)
 }
 
-func (ix *HashIndex) remove(id RowID, r Row) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.keyBuf = ix.appendRowKey(ix.keyBuf[:0], r)
-	ids, ok := ix.buckets[string(ix.keyBuf)]
-	if !ok {
-		return
-	}
-	for i, candidate := range *ids {
-		if candidate == id {
-			*ids = append((*ids)[:i], (*ids)[i+1:]...)
-			break
-		}
-	}
-	if len(*ids) == 0 {
-		delete(ix.buckets, string(ix.keyBuf))
-	}
-}
-
 // Lookup returns the RowIDs whose indexed columns equal the given values.
+// The ids are candidates: callers must resolve them through a visibility
+// filter (Table.RowsByIDs or a TableSnapshot) because tombstoned and
+// not-yet-visible rows stay indexed.
 func (ix *HashIndex) Lookup(vals ...Value) []RowID {
 	if len(vals) != len(ix.positions) {
 		return nil
@@ -428,6 +606,8 @@ func (ix *HashIndex) Lookup(vals ...Value) []RowID {
 // OrderedIndex is a sorted single-column index supporting range scans. It is
 // maintained as a sorted slice; inserts use binary search. For the metadata
 // workloads FlorDB serves (append-mostly logs), this is simple and fast.
+// Like HashIndex, entries for tombstoned rows are retained and filtered at
+// read time.
 type OrderedIndex struct {
 	mu      sync.RWMutex
 	col     string
@@ -458,19 +638,6 @@ func (ix *OrderedIndex) add(id RowID, r Row) {
 	ix.entries = append(ix.entries, orderedEntry{})
 	copy(ix.entries[i+1:], ix.entries[i:])
 	ix.entries[i] = orderedEntry{v: v, id: id}
-}
-
-func (ix *OrderedIndex) remove(id RowID, r Row) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	v := r[ix.pos]
-	i := sort.Search(len(ix.entries), func(i int) bool {
-		c := Compare(ix.entries[i].v, v)
-		return c > 0 || (c == 0 && ix.entries[i].id >= id)
-	})
-	if i < len(ix.entries) && ix.entries[i].id == id {
-		ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
-	}
 }
 
 // bulkAdd indexes a contiguous run of rows (ids start, start+1, ...) by
@@ -521,7 +688,8 @@ func (ix *OrderedIndex) bulkAdd(start RowID, rows []Row) {
 }
 
 // Range returns RowIDs with lo <= value <= hi in ascending value order.
-// A NULL bound means unbounded on that side.
+// A NULL bound means unbounded on that side. Like Lookup, the ids are
+// candidates that must pass a visibility filter.
 func (ix *OrderedIndex) Range(lo, hi Value) []RowID {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()

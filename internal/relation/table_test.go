@@ -89,14 +89,21 @@ func TestTableInsertGetDelete(t *testing.T) {
 func TestTableUpdate(t *testing.T) {
 	tbl := NewTable("t", testSchema(t))
 	id, _ := tbl.Insert(Row{Int(1), Text("a"), Float(0.5)})
-	if err := tbl.Update(id, Row{Int(1), Text("b"), Float(0.9)}); err != nil {
+	nid, err := tbl.Update(id, Row{Int(1), Text("b"), Float(0.9)})
+	if err != nil {
 		t.Fatal(err)
 	}
-	r, _ := tbl.Get(id)
-	if r[1].AsText() != "b" {
-		t.Fatal("update not applied")
+	if _, ok := tbl.Get(id); ok {
+		t.Fatal("old version still visible under old id")
 	}
-	if err := tbl.Update(RowID(999), Row{Int(1), Text("b"), Float(0.9)}); err == nil {
+	r, ok := tbl.Get(nid)
+	if !ok || r[1].AsText() != "b" {
+		t.Fatalf("update not applied: %v %v", r, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+	if _, err := tbl.Update(RowID(999), Row{Int(1), Text("b"), Float(0.9)}); err == nil {
 		t.Fatal("update of missing row must fail")
 	}
 }
@@ -146,16 +153,20 @@ func TestHashIndexLookupAndMaintenance(t *testing.T) {
 		id, _ := tbl.Insert(Row{Int(int64(i)), Text(fmt.Sprintf("n%d", i%2)), Float(0)})
 		ids = append(ids, id)
 	}
-	if got := ix.Lookup(Text("n0")); len(got) != 3 {
-		t.Fatalf("lookup n0 = %v", got)
+	liveN0 := func() int { return len(tbl.RowsByIDs(ix.Lookup(Text("n0")))) }
+	if got := liveN0(); got != 3 {
+		t.Fatalf("lookup n0 = %d live rows", got)
 	}
+	// Tombstoned rows stay indexed but are filtered by row visibility.
 	tbl.Delete(ids[0])
-	if got := ix.Lookup(Text("n0")); len(got) != 2 {
-		t.Fatalf("after delete lookup n0 = %v", got)
+	if got := liveN0(); got != 2 {
+		t.Fatalf("after delete lookup n0 = %d live rows", got)
 	}
-	tbl.Update(ids[1], Row{Int(1), Text("n0"), Float(0)})
-	if got := ix.Lookup(Text("n0")); len(got) != 3 {
-		t.Fatalf("after update lookup n0 = %v", got)
+	if _, err := tbl.Update(ids[1], Row{Int(1), Text("n0"), Float(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := liveN0(); got != 3 {
+		t.Fatalf("after update lookup n0 = %d live rows", got)
 	}
 }
 
@@ -241,9 +252,9 @@ func TestOrderedIndexDeleteMaintenance(t *testing.T) {
 	id1, _ := tbl.Insert(Row{Int(1), Text("x"), Float(0.5)})
 	tbl.Insert(Row{Int(2), Text("y"), Float(0.5)})
 	tbl.Delete(id1)
-	ids := ix.Range(Float(0.5), Float(0.5))
-	if len(ids) != 1 {
-		t.Fatalf("after delete: %v", ids)
+	rows := tbl.RowsByIDs(ix.Range(Float(0.5), Float(0.5)))
+	if len(rows) != 1 || rows[0][0].AsInt() != 2 {
+		t.Fatalf("after delete: %v", rows)
 	}
 }
 

@@ -182,6 +182,31 @@ func (v Value) String() string {
 	}
 }
 
+// JSON returns the value as a JSON-encodable Go value: nil for NULL, string
+// for TEXT, int64 / float64 for numerics, bool for BOOL, RFC3339 text for
+// DATETIME, and raw bytes for BLOB (encoding/json base64-encodes them). The
+// HTTP API and the CLI's --format json share this mapping.
+func (v Value) JSON() any {
+	switch v.typ {
+	case TNull:
+		return nil
+	case TText:
+		return v.s
+	case TInt:
+		return int64(v.num)
+	case TFloat:
+		return math.Float64frombits(v.num)
+	case TBool:
+		return v.num != 0
+	case TTime:
+		return v.AsTime().Format(time.RFC3339Nano)
+	case TBlob:
+		return v.blob
+	default:
+		return v.String()
+	}
+}
+
 // Compare orders two values. NULL sorts before everything; numeric types
 // compare numerically across TInt/TFloat; otherwise both values must share a
 // type. Returns -1, 0, or +1. Cross-type non-numeric comparisons order by

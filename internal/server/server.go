@@ -1,0 +1,322 @@
+// Package server exposes a FlorDB session over HTTP as a JSON query API —
+// the network face of the paper's "shared substrate" role: dashboards,
+// feedback UIs, and engineers query the metadata database while training
+// runs keep logging into it.
+//
+// Routes:
+//
+//	GET/POST /sql        — run a SQL query; results stream as JSON
+//	GET/POST /explain    — show the plan the planner chooses
+//	GET      /dataframe  — the pivoted flor.dataframe view
+//	GET      /healthz    — liveness, epoch, and admission stats
+//
+// Every query handler pins a committed-epoch snapshot for the request, so
+// responses are internally consistent and never block the writer. Admission
+// control in the spirit of ACP bounds the work in flight: at most
+// MaxInFlight requests execute concurrently, at most MaxQueue more wait;
+// beyond that the server sheds load with 429 instead of collapsing.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	flor "flordb"
+	"flordb/internal/sqlparse"
+)
+
+// Config tunes the API server. Zero values apply the defaults.
+type Config struct {
+	// MaxInFlight caps concurrently executing queries (default 32).
+	MaxInFlight int
+	// MaxQueue caps queries waiting for an execution slot; a request
+	// arriving with the queue full is rejected with 429 (default 64).
+	MaxQueue int
+	// QueueWait caps how long a queued request waits for a slot before
+	// giving up with 503 (default 5s).
+	QueueWait time.Duration
+	// FlushEvery is the row interval between streaming flushes (default 256).
+	FlushEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 32
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 5 * time.Second
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 256
+	}
+	return c
+}
+
+// Server serves the SQL-over-HTTP API for one session.
+type Server struct {
+	sess *flor.Session
+	cfg  Config
+	mux  *http.ServeMux
+
+	slots chan struct{} // execution slots (MaxInFlight)
+	queue chan struct{} // waiting slots (MaxQueue)
+
+	served   atomic.Int64 // queries executed
+	rejected atomic.Int64 // 429s + queue timeouts
+}
+
+// New builds the API server over a session.
+func New(sess *flor.Session, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sess:  sess,
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		slots: make(chan struct{}, cfg.MaxInFlight),
+		queue: make(chan struct{}, cfg.MaxQueue),
+	}
+	s.mux.HandleFunc("/sql", s.admitted(s.handleSQL))
+	s.mux.HandleFunc("/explain", s.admitted(s.handleExplain))
+	s.mux.HandleFunc("/dataframe", s.admitted(s.handleDataframe))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler, so the API can be mounted next to other
+// handlers (flordb serve mounts it alongside the feedback web UI).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Serve listens on addr until ctx is canceled, then shuts down gracefully:
+// no new connections are accepted and in-flight requests get up to the
+// queue-wait deadline to finish.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.QueueWait)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	<-errc // ListenAndServe's http.ErrServerClosed
+	return nil
+}
+
+// errBusy marks a load-shedding rejection (429).
+var errBusy = errors.New("server: queue full")
+
+// admit reserves an execution slot, queueing briefly when all slots are
+// busy. It returns errBusy when the queue itself is full — the bounded
+// admission contract — or the context/deadline error when the wait expires.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	free := func() { <-s.slots }
+	select {
+	case s.slots <- struct{}{}:
+		return free, nil
+	default:
+	}
+	select {
+	case s.queue <- struct{}{}:
+		defer func() { <-s.queue }()
+	default:
+		return nil, errBusy
+	}
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return free, nil
+	case <-t.C:
+		return nil, context.DeadlineExceeded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// admitted wraps a handler with admission control.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.admit(r.Context())
+		if err != nil {
+			s.rejected.Add(1)
+			if errors.Is(err, errBusy) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+				return
+			}
+			writeError(w, http.StatusServiceUnavailable, "timed out waiting for an execution slot")
+			return
+		}
+		defer release()
+		s.served.Add(1)
+		h(w, r)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// queryParam extracts the SQL text from ?q= or a JSON body {"query": ...}.
+func queryParam(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q, nil
+	}
+	if r.Method == http.MethodPost {
+		var body struct {
+			Query string `json:"query"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			return "", fmt.Errorf("bad JSON body: %w", err)
+		}
+		if body.Query != "" {
+			return body.Query, nil
+		}
+	}
+	return "", errors.New("missing query: pass ?q= or a JSON body with \"query\"")
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	q, err := queryParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	view, err := s.sess.Reader()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	res, err := view.SQL(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.streamResult(w, view.Epoch(), res)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q, err := queryParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	view, err := s.sess.Reader()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	plan, err := view.Explain(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"epoch": view.Epoch(),
+		"plan":  strings.Split(plan, "\n"),
+	})
+}
+
+func (s *Server) handleDataframe(w http.ResponseWriter, r *http.Request) {
+	names := splitNonEmpty(r.URL.Query().Get("names"))
+	if len(names) == 0 {
+		writeError(w, http.StatusBadRequest, "missing ?names=a,b,...")
+		return
+	}
+	var tstamp int64
+	if raw := r.URL.Query().Get("tstamp"); raw != "" {
+		ts, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad tstamp: "+raw)
+			return
+		}
+		tstamp = ts
+	}
+	view, err := s.sess.Reader()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	df, err := view.DataframeAt(r.URL.Query().Get("filename"), tstamp, names...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.streamResult(w, view.Epoch(), &sqlparse.Result{Columns: df.Columns, Rows: df.Rows})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"ok":        true,
+		"project":   s.sess.ProjID,
+		"epoch":     s.sess.Database().Epoch(),
+		"in_flight": len(s.slots),
+		"queued":    len(s.queue),
+		"served":    s.served.Load(),
+		"rejected":  s.rejected.Load(),
+	})
+}
+
+// streamResult writes {"epoch":E,"columns":[...],"rows":[[...],...],"row_count":N}
+// incrementally: rows are encoded one at a time and the connection is flushed
+// every FlushEvery rows, so large results reach slow clients without
+// buffering the whole payload server-side.
+func (s *Server) streamResult(w http.ResponseWriter, epoch int64, res *sqlparse.Result) {
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+
+	head, _ := json.Marshal(res.Columns)
+	fmt.Fprintf(w, `{"epoch":%d,"columns":%s,"rows":[`, epoch, head)
+	enc := json.NewEncoder(w)
+	row := make([]any, 0, 8)
+	for i, r := range res.Rows {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		row = row[:0]
+		for _, v := range r {
+			row = append(row, v.JSON())
+		}
+		// Encoder appends a newline per value; inside the rows array that is
+		// harmless whitespace and keeps huge results line-splittable.
+		if err := enc.Encode(row); err != nil {
+			return // client went away; nothing sensible to send
+		}
+		if flusher != nil && (i+1)%s.cfg.FlushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+	fmt.Fprintf(w, `],"row_count":%d}`, len(res.Rows))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func splitNonEmpty(csv string) []string {
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

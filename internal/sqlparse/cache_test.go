@@ -1,0 +1,90 @@
+package sqlparse
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPlanCacheHitsAndEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	q1 := "SELECT a FROM t"
+	q2 := "SELECT b FROM t"
+	q3 := "SELECT c FROM t"
+
+	s1, err := c.Parse(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1again, err := c.Parse(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s1again {
+		t.Fatal("repeat parse must return the cached statement")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses", hits, misses)
+	}
+
+	if _, err := c.Parse(q2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Parse(q3); err != nil { // evicts q1 (LRU)
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	s1new, err := c.Parse(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1new == s1 {
+		t.Fatal("evicted entry must be re-parsed")
+	}
+}
+
+func TestPlanCacheLRUOrder(t *testing.T) {
+	c := NewPlanCache(2)
+	q1, q2, q3 := "SELECT a FROM t", "SELECT b FROM t", "SELECT c FROM t"
+	s1, _ := c.Parse(q1)
+	c.Parse(q2)
+	c.Parse(q1) // touch q1 so q2 becomes LRU
+	c.Parse(q3) // must evict q2, not q1
+	if got, _ := c.Parse(q1); got != s1 {
+		t.Fatal("recently used entry was evicted")
+	}
+}
+
+func TestPlanCacheErrorsNotCached(t *testing.T) {
+	c := NewPlanCache(4)
+	if _, err := c.Parse("SELEKT nope"); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error cached: len = %d", c.Len())
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := fmt.Sprintf("SELECT a FROM t WHERE a = %d", i%16)
+				if _, err := c.Parse(q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

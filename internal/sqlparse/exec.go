@@ -13,33 +13,35 @@ type Result struct {
 	Rows    []relation.Row
 }
 
-// Run parses and executes a SQL query against the database.
-func Run(db *relation.Database, query string) (*Result, error) {
+// Run parses and executes a SQL query against a catalog — the live database
+// (latest visibility) or a pinned snapshot (one-epoch visibility).
+func Run(cat relation.Catalog, query string) (*Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(db, stmt)
+	return Execute(cat, stmt)
 }
 
-// Execute runs a parsed statement against the database using the query
-// planner (index-backed access paths, predicate pushdown below joins). An
-// EXPLAIN statement returns the rendered plan instead of rows.
-func Execute(db *relation.Database, stmt *SelectStmt) (*Result, error) {
-	return execute(db, stmt, false)
+// Execute runs a parsed statement against a catalog using the query planner
+// (index-backed access paths, predicate pushdown below joins). An EXPLAIN
+// statement returns the rendered plan instead of rows. The statement is not
+// mutated, so a cached parse may be executed concurrently.
+func Execute(cat relation.Catalog, stmt *SelectStmt) (*Result, error) {
+	return execute(cat, stmt, false)
 }
 
 // ExecuteScan runs a parsed statement with the planner disabled: every table
 // is fully scanned and the WHERE clause filters the joined stream post hoc.
 // It is the reference implementation the planner is property-tested against
 // and the baseline the C8–C10 benchmarks measure.
-func ExecuteScan(db *relation.Database, stmt *SelectStmt) (*Result, error) {
-	return execute(db, stmt, true)
+func ExecuteScan(cat relation.Catalog, stmt *SelectStmt) (*Result, error) {
+	return execute(cat, stmt, true)
 }
 
-func execute(db *relation.Database, stmt *SelectStmt, naive bool) (*Result, error) {
+func execute(cat relation.Catalog, stmt *SelectStmt, naive bool) (*Result, error) {
 	ctx := &execCtx{}
-	in, inNode, err := planInput(db, stmt, ctx, naive)
+	in, inNode, err := planInput(cat, stmt, ctx, naive)
 	if err != nil {
 		return nil, err
 	}

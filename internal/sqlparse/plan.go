@@ -98,7 +98,7 @@ func applyFilter(ctx *execCtx, in relation.Iterator, pred Expr) (relation.Iterat
 // no pushdown and no index access-path selection (the pre-planner behavior:
 // full scans joined, WHERE filtered on top) — the reference implementation
 // the planner is property-tested against and benchmarked as the baseline.
-func planInput(db *relation.Database, stmt *SelectStmt, ctx *execCtx, naive bool) (relation.Iterator, *PlanNode, error) {
+func planInput(cat relation.Catalog, stmt *SelectStmt, ctx *execCtx, naive bool) (relation.Iterator, *PlanNode, error) {
 	sources := make([]TableRef, 0, 1+len(stmt.Joins))
 	sources = append(sources, stmt.From)
 	for _, j := range stmt.Joins {
@@ -110,7 +110,7 @@ func planInput(db *relation.Database, stmt *SelectStmt, ctx *execCtx, naive bool
 	// renaming exactly, so pushdown resolution matches the runtime binder.
 	schemas := make([]*relation.Schema, len(sources))
 	for i, ref := range sources {
-		s, err := db.SchemaOf(ref.Name)
+		s, err := cat.SchemaOf(ref.Name)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -152,13 +152,13 @@ func planInput(db *relation.Database, stmt *SelectStmt, ctx *execCtx, naive bool
 		}
 	}
 
-	it, node, est, err := planSource(db, sources[0], pushed[0], ctx, naive)
+	it, node, est, err := planSource(cat, sources[0], pushed[0], ctx, naive)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	for k, j := range stmt.Joins {
-		right, rightNode, rightEst, err := planSource(db, sources[k+1], pushed[k+1], ctx, naive)
+		right, rightNode, rightEst, err := planSource(cat, sources[k+1], pushed[k+1], ctx, naive)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -287,17 +287,17 @@ func combineAnd(exprs []Expr) Expr {
 // planSource plans one FROM/JOIN source given the conjuncts pushed to it.
 // It returns the iterator, its plan subtree, and an estimated row count
 // (-1 = unknown) used to pick hash-join build sides.
-func planSource(db *relation.Database, ref TableRef, conjs []Expr, ctx *execCtx, naive bool) (relation.Iterator, *PlanNode, int64, error) {
-	if t, ok := db.Table(ref.Name); ok && !naive {
+func planSource(cat relation.Catalog, ref TableRef, conjs []Expr, ctx *execCtx, naive bool) (relation.Iterator, *PlanNode, int64, error) {
+	if t, ok := cat.Reader(ref.Name); ok && !naive {
 		return planTableAccess(t, ref, conjs, ctx)
 	}
-	it, err := db.Source(ref.Name)
+	it, err := cat.Source(ref.Name)
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	est := int64(-1)
 	op := "Scan"
-	if t, ok := db.Table(ref.Name); ok {
+	if t, ok := cat.Reader(ref.Name); ok {
 		est = int64(t.Len())
 	} else {
 		op = "VirtualScan"
@@ -337,8 +337,10 @@ type sargable struct {
 
 // planTableAccess picks the cheapest access path the pushed conjuncts allow:
 // hash-index lookup > ordered-index range > full scan. Unconsumed conjuncts
-// become a residual filter over the narrowed stream.
-func planTableAccess(t *relation.Table, ref TableRef, conjs []Expr, ctx *execCtx) (relation.Iterator, *PlanNode, int64, error) {
+// become a residual filter over the narrowed stream. The reader may be a
+// live table or a pinned snapshot; access paths resolve rows through its
+// visibility filter either way.
+func planTableAccess(t relation.TableReader, ref TableRef, conjs []Expr, ctx *execCtx) (relation.Iterator, *PlanNode, int64, error) {
 	binding := ref.Binding()
 	schema := t.Schema()
 
@@ -415,7 +417,7 @@ func planTableAccess(t *relation.Table, ref TableRef, conjs []Expr, ctx *execCtx
 // chooseHashIndex returns the widest hash index whose every column is bound
 // by an equality (or one IN) conjunct, with the expanded key tuples and the
 // set of consumed conjunct indices.
-func chooseHashIndex(t *relation.Table, eqs map[string]sargable) (cols []string, keys [][]relation.Value, consumed map[int]bool) {
+func chooseHashIndex(t relation.TableReader, eqs map[string]sargable) (cols []string, keys [][]relation.Value, consumed map[int]bool) {
 	if len(eqs) == 0 {
 		return nil, nil, nil
 	}
@@ -484,7 +486,7 @@ func dedupeKeys(keys [][]relation.Value) [][]relation.Value {
 
 // chooseOrderedIndex returns the ordered-indexed column whose range conjuncts
 // consume the most predicates, with the combined bounds.
-func chooseOrderedIndex(t *relation.Table, ranges map[string][]sargable) (col string, lo, hi relation.Value, loIncl, hiIncl bool, consumed map[int]bool) {
+func chooseOrderedIndex(t relation.TableReader, ranges map[string][]sargable) (col string, lo, hi relation.Value, loIncl, hiIncl bool, consumed map[int]bool) {
 	best := -1
 	for _, ixCol := range t.OrderedIndexColumns() {
 		sargs := ranges[strings.ToLower(ixCol)]

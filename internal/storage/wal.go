@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"flordb/internal/record"
 )
@@ -49,6 +50,12 @@ const DefaultSegmentBytes = 64 << 20
 // WAL is an append-only record log. Appends are buffered; Flush writes and
 // syncs. The active file rotates into sealed, numbered segments at commit
 // boundaries once it exceeds the segment size. Safe for concurrent use.
+//
+// Commits use group commit: AppendCommit appends the commit record under the
+// short append lock and then waits for a flush+fsync covering it. One waiter
+// at a time is elected leader and performs a single fsync; every commit
+// appended before the leader flushed rides that fsync, so N concurrent
+// committers cost ~1 fsync per batch instead of N.
 type WAL struct {
 	mu        sync.Mutex
 	f         *os.File
@@ -61,10 +68,23 @@ type WAL struct {
 	size      int64 // logical bytes appended to the active file (incl. buffered)
 	committed int64 // logical size as of the last appended commit record
 	nextSeq   int64 // sequence number the next sealed segment will take
+	gen       int64 // active-file generation; rotation increments it
 	// dirUnsynced records a failed post-rotation directory fsync so the next
 	// commit retries it; until then the rename (and the new active file's
 	// dir entry) may not survive a power loss.
 	dirUnsynced bool
+
+	// Group-commit state, guarded by gcMu (never held while doing IO and
+	// never acquired while holding mu except in Truncate, whose one-way
+	// mu->gcMu nesting cannot deadlock against the gcMu->nothing order used
+	// everywhere else).
+	gcMu   sync.Mutex
+	gcCond *sync.Cond
+	gcBusy bool  // a leader is flushing
+	gcGen  int64 // generation the durable prefix below refers to
+	gcOff  int64 // bytes of gcGen proven flushed+fsynced
+
+	syncs atomic.Int64 // fsyncs performed; group-commit observability
 }
 
 // Options configures WAL behavior.
@@ -125,11 +145,13 @@ func OpenWAL(path string, opts Options) (*WAL, error) {
 	if len(snaps) > 0 && snaps[len(snaps)-1].Seq >= nextSeq {
 		nextSeq = snaps[len(snaps)-1].Seq + 1
 	}
-	return &WAL{
+	w := &WAL{
 		f: f, w: bufio.NewWriterSize(f, 1<<16), lock: lock, path: path,
 		sync: !opts.NoSync, segBytes: opts.SegmentBytes,
 		size: st.Size(), committed: st.Size(), nextSeq: nextSeq,
-	}, nil
+	}
+	w.gcCond = sync.NewCond(&w.gcMu)
+	return w, nil
 }
 
 // Path returns the active WAL file path.
@@ -174,43 +196,106 @@ func (w *WAL) flushLocked() error {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("storage: sync: %w", err)
 		}
+		w.syncs.Add(1)
 	}
 	w.pending = 0
 	return nil
 }
 
-// AppendCommit appends a commit record and flushes — the durable point. If
-// the active file has reached the segment size it is rotated afterward, so
-// sealed segments always end with a commit record.
+// SyncCount reports how many fsyncs the WAL has performed. With group
+// commit, N concurrent committers should advance it by ~1 per batch, not N;
+// C13 reports the ratio.
+func (w *WAL) SyncCount() int64 { return w.syncs.Load() }
+
+// AppendCommit appends a commit record and waits until it is durable — the
+// commit point. Concurrent callers coalesce: the record is appended under
+// the short append lock, then one caller is elected group-commit leader and
+// performs a single flush+fsync covering every commit appended so far. If
+// the active file has reached the segment size the leader rotates it
+// afterward, so sealed segments always end with a commit record.
 func (w *WAL) AppendCommit(rec *record.CommitRecord) error {
 	line, err := record.Encode(rec)
 	if err != nil {
 		return err
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if err := w.appendLocked(line); err != nil {
+		w.mu.Unlock()
 		return err
 	}
 	w.committed = w.size
-	if err := w.flushLocked(); err != nil {
-		return err
-	}
-	if w.dirUnsynced && w.sync {
-		if err := syncDir(filepath.Dir(w.path)); err != nil {
+	gen, target := w.gen, w.size
+	w.mu.Unlock()
+	return w.syncCommitted(gen, target)
+}
+
+// gcCovered reports whether a durable prefix (sGen, sOff) covers an append
+// at (gen, off). A later generation covers every earlier one: rotation only
+// happens after the old generation was fully flushed and fsynced.
+func gcCovered(sGen, sOff, gen, off int64) bool {
+	return sGen > gen || (sGen == gen && sOff >= off)
+}
+
+// syncCommitted blocks until a flush+fsync covering offset target of
+// generation gen has completed. The first waiter not covered by the durable
+// prefix becomes leader, performs the IO for everyone, publishes the new
+// prefix, and retries rotation and a pending directory sync.
+func (w *WAL) syncCommitted(gen, target int64) error {
+	for {
+		w.gcMu.Lock()
+		for !gcCovered(w.gcGen, w.gcOff, gen, target) && w.gcBusy {
+			w.gcCond.Wait()
+		}
+		if gcCovered(w.gcGen, w.gcOff, gen, target) {
+			w.gcMu.Unlock()
+			return nil
+		}
+		w.gcBusy = true
+		w.gcMu.Unlock()
+
+		// Leader round: flush + fsync everything appended so far. The
+		// capture happens before rotation, so the published prefix describes
+		// the generation the waiters appended into.
+		w.mu.Lock()
+		err := w.flushLocked()
+		sGen, sOff := w.gen, w.size
+		if err == nil {
+			if w.dirUnsynced && w.sync {
+				if derr := syncDir(filepath.Dir(w.path)); derr != nil {
+					err = derr
+				} else {
+					w.dirUnsynced = false
+				}
+			}
+			if err == nil && w.segBytes > 0 && w.size >= w.segBytes {
+				// Rotation is space management, not part of the commit
+				// contract: the commit record is already durable, so a
+				// rotation failure must not make AppendCommit report failure
+				// (a caller would retry the committed transaction and
+				// duplicate it). The next commit — or an explicit Seal,
+				// which does surface errors — retries.
+				_, _ = w.rotateLocked()
+			}
+		}
+		w.mu.Unlock()
+
+		w.gcMu.Lock()
+		w.gcBusy = false
+		if err == nil && gcCovered(sGen, sOff, w.gcGen, w.gcOff) {
+			w.gcGen, w.gcOff = sGen, sOff
+		}
+		done := err == nil && gcCovered(w.gcGen, w.gcOff, gen, target)
+		w.gcCond.Broadcast()
+		w.gcMu.Unlock()
+		if err != nil {
 			return err
 		}
-		w.dirUnsynced = false
+		if done {
+			return nil
+		}
+		// Our append postdates the state the leader flushed (possible only
+		// when we inherited leadership mid-round); go around again.
 	}
-	if w.segBytes > 0 && w.size >= w.segBytes {
-		// Rotation is space management, not part of the commit contract:
-		// the commit record is already durable, so a rotation failure must
-		// not make AppendCommit report failure (a caller would retry the
-		// committed transaction and duplicate it). The next commit — or an
-		// explicit Seal, which does surface errors — retries.
-		_, _ = w.rotateLocked()
-	}
-	return nil
 }
 
 // Seal flushes and rotates the active file into a sealed segment regardless
@@ -255,6 +340,7 @@ func (w *WAL) rotateLocked() (int64, error) {
 	w.f = f
 	w.w.Reset(f)
 	w.size, w.committed = 0, 0
+	w.gen++
 	w.nextSeq++
 	// The sealed data was already flushed (and fsynced when sync is on)
 	// before rotation was attempted; a close error on the old fd loses
@@ -296,6 +382,13 @@ func (w *WAL) Truncate(off int64) error {
 		}
 	}
 	w.size, w.committed = off, off
+	// The durable prefix must not claim coverage past the new end, or a
+	// later commit below the old offset would skip its fsync.
+	w.gcMu.Lock()
+	if w.gcGen == w.gen && w.gcOff > off {
+		w.gcOff = off
+	}
+	w.gcMu.Unlock()
 	return nil
 }
 

@@ -226,3 +226,102 @@ func TestHashKeyDeterministic(t *testing.T) {
 		t.Fatal("different payloads must differ")
 	}
 }
+
+func TestGroupCommitConcurrentCommitters(t *testing.T) {
+	// N goroutines commit concurrently; every record must be durable and
+	// replayable, and sealed segments (rotation races with the group) must
+	// still end at commit boundaries.
+	path := walPath(t)
+	w, err := OpenWAL(path, Options{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, commitsPer = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < commitsPer; i++ {
+				ts := int64(g*commitsPer + i)
+				if err := w.Append(logRec(ts, "x", "v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.AppendCommit(commitRec(ts)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !w.TailCommitted() {
+		t.Fatal("tail must be committed after all commits return")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs, commits int
+	if _, err := ReplaySegments(path, 0, true, func(rec any) error {
+		switch rec.(type) {
+		case *record.LogRecord:
+			logs++
+		case *record.CommitRecord:
+			commits++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if logs != writers*commitsPer || commits != writers*commitsPer {
+		t.Fatalf("replayed %d logs / %d commits, want %d each", logs, commits, writers*commitsPer)
+	}
+	// Every sealed segment ends with a commit record (rotation only at
+	// commit boundaries, even under concurrent group commit).
+	segs, err := ListSegments(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("expected rotation under a 4KiB segment size")
+	}
+	for _, sg := range segs {
+		var last any
+		if err := Replay(sg.Path, false, func(rec any) error { last = rec; return nil }); err != nil {
+			t.Fatalf("segment %d: %v", sg.Seq, err)
+		}
+		if _, ok := last.(*record.CommitRecord); !ok {
+			t.Fatalf("segment %d does not end with a commit record: %T", sg.Seq, last)
+		}
+	}
+}
+
+func TestGroupCommitSequentialStillDurable(t *testing.T) {
+	// The single-committer fast path: each AppendCommit returns only after
+	// its own record is flushed.
+	path := walPath(t)
+	w, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.AppendCommit(commitRec(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if w.Pending() != 0 {
+			t.Fatalf("commit %d left %d pending records", i, w.Pending())
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := Replay(path, true, func(any) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("replayed %d records, want 10", n)
+	}
+}

@@ -81,6 +81,10 @@ type pageView struct {
 // GetColors reproduces Figure 6's get_colors(): fetch the latest page_color
 // labels for the document; where human labels are absent, derive colors from
 // the model's first_page predictions via cumulative sum.
+//
+// The read runs against a snapshot pinned at call time: a concurrent
+// save_colors script (or any other writer) can neither block the request
+// nor be observed mid-transaction.
 func (s *Server) GetColors(docName string) ([]pageView, error) {
 	doc, ok := s.Corpus.Doc(docName)
 	if !ok {
@@ -93,7 +97,15 @@ func (s *Server) GetColors(docName string) ([]pageView, error) {
 	}
 
 	// Human labels: flor.dataframe("page_color"), latest, this document.
-	df, err := s.Sess.Dataframe("page_color")
+	// Committed-epoch snapshot: save_colors writes a document's labels in
+	// one script transaction, and script runs (with their commits) are
+	// serialized by the session, so this read sees all of a label set or
+	// none — never a half-written one.
+	view, err := s.Sess.Reader()
+	if err != nil {
+		return nil, err
+	}
+	df, err := view.Dataframe("page_color")
 	if err == nil && df.Len() > 0 {
 		di := df.Index("document_value")
 		pi := df.Index("page_value")
@@ -201,7 +213,14 @@ func (s *Server) handleSaveColors(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	df, err := s.Sess.Dataframe("acc", "recall")
+	// Snapshot read: the model-registry view is consistent even while a
+	// training run streams new metrics into the session.
+	view, err := s.Sess.LatestReader()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	df, err := view.Dataframe("acc", "recall")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

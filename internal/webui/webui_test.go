@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	flor "flordb"
@@ -197,5 +198,82 @@ func TestMetricsEndpoint(t *testing.T) {
 	body := rec.Body.String()
 	if !strings.Contains(body, "acc,recall") || !strings.Contains(body, "0.9,0.8") {
 		t.Fatalf("metrics csv:\n%s", body)
+	}
+}
+
+func TestConcurrentGetColorsWhileSaving(t *testing.T) {
+	// Regression test for the snapshot migration: handlers used to read the
+	// live tables per request with no consistency guarantee. Now every read
+	// pins a snapshot, so concurrent save_colors writers can neither race
+	// the read (run with -race) nor surface a torn label set: a document's
+	// labels are written in one transaction, so a reader must observe all
+	// four pages human-labeled or none.
+	srv, corpus := testServer(t)
+	doc := corpus.DocNames()[0]
+
+	// The writer is bounded: snapshot readers exert no backpressure, so an
+	// unbounded save loop would outrun any fixed reader iteration count.
+	done := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			if err := srv.SaveColors(doc, []int{i % 3, i % 3, 1, 1}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for running := true; running; {
+				select {
+				case <-done:
+					running = false // one final read below observes the end state
+				default:
+				}
+				views, err := srv.GetColors(doc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				human := 0
+				for _, v := range views {
+					if v.Source == "human" {
+						human++
+					}
+				}
+				if human != 0 && human != len(views) {
+					t.Errorf("torn read: %d of %d pages human-labeled", human, len(views))
+					return
+				}
+				// The metrics endpoint stays serveable under write load.
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/metrics", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("metrics status = %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	writer.Wait()
+	readers.Wait()
+
+	// After the writer finishes, the final committed labels are visible.
+	views, err := srv.GetColors(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range views {
+		if v.Source != "human" {
+			t.Fatalf("final read missing human labels: %+v", views)
+		}
 	}
 }
