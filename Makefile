@@ -1,6 +1,15 @@
-# Development targets. `make check` is what CI runs.
+# Development targets. CI runs these as parallel jobs (see
+# .github/workflows/ci.yml): lint (fmt+vet+staticcheck), test, crash-matrix,
+# race-stress, fuzz, and bench followed by bench-gate — the benchmark
+# regression gate. bench-gate diffs the fresh BENCH_latest.json against the
+# committed BENCH_baseline.json with cmd/benchdiff and fails on >25%
+# regressions in ns/op or allocs/op; a PR that legitimately regresses (or
+# improves) a defended benchmark updates BENCH_baseline.json in the same PR,
+# keeping the cost explicit and reviewable. The gate is a CI step, not part
+# of `make check`: absolute ns/op only compares within one hardware class,
+# so local machines run the snapshot but not the diff.
 
-.PHONY: check fmt vet build test race-stress bench bench-full fuzz
+.PHONY: check fmt vet build test race-stress bench bench-full bench-gate fuzz
 
 check: fmt vet build test bench
 
@@ -33,6 +42,11 @@ bench:
 
 bench-full:
 	go test -run '^$$' -bench . -benchmem -count=1 .
+
+# bench-gate is the CI benchmark-regression gate: compare the fresh
+# snapshot against the committed baseline and fail on >25% regressions.
+bench-gate:
+	go run ./cmd/benchdiff -baseline BENCH_baseline.json -latest BENCH_latest.json
 
 # fuzz runs a short smoke pass over every native fuzz target (decoder, WAL
 # replay, snapshot reader); CI runs it on each push.

@@ -577,6 +577,95 @@ func BenchmarkC10JoinPushdownScanBaseline(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// C14 — vectorized batch execution vs the row-at-a-time reference over full
+// scans of a 100k-row metrics table (no secondary indexes, so the planner
+// takes the batched scan path). The *RowBaseline variants run the identical
+// statement through sqlparse.ExecuteScan — the volcano-style row executor —
+// so the speedup is measured in-tree. The acceptance bar for the batch
+// engine is >=3x on the scan-aggregate shape; cmd/benchdiff gates CI
+// against regressing these (and every other) numbers by >25%.
+// ---------------------------------------------------------------------------
+
+const (
+	c14Tstamps = 1000
+	c14Names   = 100 // 100k rows total
+)
+
+// benchC14DB builds an unindexed 100k-row metrics table: the workload shape
+// of a hindsight aggregation over logged runs, stored with a real FLOAT
+// metric column so aggregate arguments are pass-through columns.
+func benchC14DB(b *testing.B) *relation.Database {
+	b.Helper()
+	db := relation.NewDatabase()
+	t, err := db.CreateTable("metrics", relation.MustSchema(
+		relation.Column{Name: "projid", Type: relation.TText},
+		relation.Column{Name: "tstamp", Type: relation.TInt},
+		relation.Column{Name: "name", Type: relation.TText},
+		relation.Column{Name: "value", Type: relation.TFloat},
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]relation.Row, 0, c14Tstamps*c14Names)
+	for ts := 0; ts < c14Tstamps; ts++ {
+		for n := 0; n < c14Names; n++ {
+			rows = append(rows, relation.Row{
+				relation.Text("bench"), relation.Int(int64(ts)),
+				relation.Text(fmt.Sprintf("metric_%d", n)),
+				relation.Float(float64((ts*c14Names+n)%1000) / 1000),
+			})
+		}
+	}
+	if err := t.LoadRows(rows); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+const (
+	c14AggQuery    = "SELECT name, count(*) AS n, avg(value) AS mean FROM metrics WHERE projid = 'bench' GROUP BY name"
+	c14FilterQuery = "SELECT name, value FROM metrics WHERE value > 0.99"
+)
+
+func benchC14(b *testing.B, query string, wantRows int, naive bool) {
+	db := benchC14DB(b)
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := sqlparse.Execute
+	if naive {
+		exec = sqlparse.ExecuteScan
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exec(db, stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != wantRows {
+			b.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+		}
+	}
+}
+
+func BenchmarkC14ScanAggregate(b *testing.B) {
+	benchC14(b, c14AggQuery, c14Names, false)
+}
+
+func BenchmarkC14ScanAggregateRowBaseline(b *testing.B) {
+	benchC14(b, c14AggQuery, c14Names, true)
+}
+
+func BenchmarkC14FilterProject(b *testing.B) {
+	benchC14(b, c14FilterQuery, 900, false)
+}
+
+func BenchmarkC14FilterProjectRowBaseline(b *testing.B) {
+	benchC14(b, c14FilterQuery, 900, true)
+}
+
+// ---------------------------------------------------------------------------
 // C11 — session startup: cold O(history) WAL replay vs snapshot-accelerated
 // recovery (load newest snapshot + replay the WAL tail) over a 100k-record
 // history. The paper's checkpoint/replay design applied to metadata state.

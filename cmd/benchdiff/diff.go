@@ -1,0 +1,241 @@
+// Command benchdiff compares two `go test -json` benchmark snapshots (the
+// committed BENCH_baseline.json and a freshly measured BENCH_latest.json)
+// and exits nonzero when any benchmark regressed beyond the threshold on
+// ns/op or allocs/op, or disappeared entirely. CI runs it after `make
+// bench` (the `make bench-gate` target), turning the per-PR benchmark
+// snapshot from a passive artifact into an admission gate for performance:
+// a PR that slows a defended hot path must either fix the regression or
+// update the committed baseline in the same PR, making the cost explicit
+// and reviewable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's measured numbers from a snapshot.
+type BenchResult struct {
+	Name        string // GOMAXPROCS suffix stripped: BenchmarkX, not BenchmarkX-8
+	NsPerOp     float64
+	AllocsPerOp float64
+	HasAllocs   bool
+}
+
+// Options tunes the comparison.
+type Options struct {
+	// MaxRegress is the tolerated fractional increase before a benchmark
+	// fails the gate; 0.25 means latest may be up to 25% worse.
+	MaxRegress float64
+	// FloorNs skips the ns/op comparison when both sides are below it:
+	// single-iteration snapshots make sub-microsecond timings mostly noise.
+	// allocs/op is always compared — the allocator doesn't jitter.
+	FloorNs float64
+	// AllocSlack is the absolute allocs/op increase tolerated in addition
+	// to the fractional threshold, so a 0→2 allocation change on a
+	// previously allocation-free benchmark doesn't trip an infinite-ratio
+	// failure while 100→150 still does.
+	AllocSlack float64
+}
+
+// DefaultOptions matches the `make bench-gate` invocation.
+func DefaultOptions() Options {
+	return Options{MaxRegress: 0.25, FloorNs: 1000, AllocSlack: 2}
+}
+
+// Report is the outcome of comparing two snapshots.
+type Report struct {
+	Regressions  []string // failing lines, human-readable
+	Missing      []string // benchmarks present in baseline, absent in latest
+	Improvements []string // >threshold improvements (baseline refresh hints)
+	Added        []string // new benchmarks not yet in the baseline
+	Compared     int
+}
+
+// Failed reports whether the gate should reject.
+func (r *Report) Failed() bool { return len(r.Regressions) > 0 || len(r.Missing) > 0 }
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseSnapshot reads a benchmark snapshot in `go test -json` form (a
+// stream of JSON events whose Output fields carry fragments of the
+// benchmark text — a single result line is usually split across several
+// events) or plain `go test -bench` text. Benchmarks measured more than
+// once keep their best (minimum) ns/op and allocs/op — the stable lower
+// envelope.
+func ParseSnapshot(r io.Reader) (map[string]BenchResult, error) {
+	// Reconstruct the textual benchmark output. JSON events concatenate in
+	// stream order, so joining their Output fields reproduces the exact
+	// text `go test -bench` would have printed.
+	var text strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "{") {
+			var ev struct {
+				Action string `json:"Action"`
+				Output string `json:"Output"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return nil, fmt.Errorf("benchdiff: bad JSON line %q: %w", truncate(line), err)
+			}
+			if ev.Action == "output" {
+				text.WriteString(ev.Output)
+			}
+			continue
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]BenchResult)
+	for _, line := range strings.Split(text.String(), "\n") {
+		res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if prev, seen := out[res.Name]; seen {
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if prev.HasAllocs && (!res.HasAllocs || prev.AllocsPerOp < res.AllocsPerOp) {
+				res.AllocsPerOp, res.HasAllocs = prev.AllocsPerOp, true
+			}
+		}
+		out[res.Name] = res
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one `BenchmarkName-8  100  123 ns/op  4 B/op  2
+// allocs/op` line. Custom metrics (e.g. fsyncs/commit) are ignored.
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchResult{}, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return BenchResult{}, false // not an iteration count: a status line
+	}
+	res := BenchResult{Name: gomaxprocsSuffix.ReplaceAllString(fields[0], "")}
+	found := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			found = true
+		case "allocs/op":
+			res.AllocsPerOp = v
+			res.HasAllocs = true
+		}
+	}
+	return res, found
+}
+
+func truncate(s string) string {
+	if len(s) > 80 {
+		return s[:80] + "..."
+	}
+	return s
+}
+
+// Compare gates latest against baseline.
+func Compare(baseline, latest map[string]BenchResult, opts Options) *Report {
+	rep := &Report{}
+	names := make([]string, 0, len(baseline))
+	for n := range baseline {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := latest[name]
+		if !ok {
+			rep.Missing = append(rep.Missing,
+				fmt.Sprintf("%s: in baseline but missing from latest snapshot", name))
+			continue
+		}
+		rep.Compared++
+		limit := 1 + opts.MaxRegress
+		if base.NsPerOp >= opts.FloorNs || cur.NsPerOp >= opts.FloorNs {
+			if cur.NsPerOp > base.NsPerOp*limit {
+				rep.Regressions = append(rep.Regressions,
+					fmt.Sprintf("%s: ns/op %s -> %s (%+.1f%%, limit %+.0f%%)",
+						name, fmtNum(base.NsPerOp), fmtNum(cur.NsPerOp),
+						pct(base.NsPerOp, cur.NsPerOp), opts.MaxRegress*100))
+			} else if base.NsPerOp > 0 && cur.NsPerOp < base.NsPerOp/limit {
+				rep.Improvements = append(rep.Improvements,
+					fmt.Sprintf("%s: ns/op %s -> %s (%+.1f%%)",
+						name, fmtNum(base.NsPerOp), fmtNum(cur.NsPerOp), pct(base.NsPerOp, cur.NsPerOp)))
+			}
+		}
+		if base.HasAllocs && cur.HasAllocs {
+			if cur.AllocsPerOp > base.AllocsPerOp*limit && cur.AllocsPerOp > base.AllocsPerOp+opts.AllocSlack {
+				rep.Regressions = append(rep.Regressions,
+					fmt.Sprintf("%s: allocs/op %s -> %s (%+.1f%%, limit %+.0f%%)",
+						name, fmtNum(base.AllocsPerOp), fmtNum(cur.AllocsPerOp),
+						pct(base.AllocsPerOp, cur.AllocsPerOp), opts.MaxRegress*100))
+			} else if base.AllocsPerOp > 0 && cur.AllocsPerOp < base.AllocsPerOp/limit {
+				rep.Improvements = append(rep.Improvements,
+					fmt.Sprintf("%s: allocs/op %s -> %s (%+.1f%%)",
+						name, fmtNum(base.AllocsPerOp), fmtNum(cur.AllocsPerOp), pct(base.AllocsPerOp, cur.AllocsPerOp)))
+			}
+		}
+	}
+	for name := range latest {
+		if _, ok := baseline[name]; !ok {
+			rep.Added = append(rep.Added, name)
+		}
+	}
+	sort.Strings(rep.Added)
+	return rep
+}
+
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur/base - 1) * 100
+}
+
+func fmtNum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+// Render writes the report in the order CI logs read best: failures first.
+func (r *Report) Render(w io.Writer) {
+	for _, line := range r.Regressions {
+		fmt.Fprintf(w, "REGRESSION  %s\n", line)
+	}
+	for _, line := range r.Missing {
+		fmt.Fprintf(w, "MISSING     %s\n", line)
+	}
+	for _, line := range r.Improvements {
+		fmt.Fprintf(w, "improvement %s\n", line)
+	}
+	for _, name := range r.Added {
+		fmt.Fprintf(w, "new         %s (not in baseline yet)\n", name)
+	}
+	fmt.Fprintf(w, "benchdiff: %d compared, %d regressed, %d missing, %d improved, %d new\n",
+		r.Compared, len(r.Regressions), len(r.Missing), len(r.Improvements), len(r.Added))
+	if len(r.Improvements) > 0 {
+		fmt.Fprintln(w, "benchdiff: improvements beyond the threshold — consider refreshing BENCH_baseline.json to lock them in")
+	}
+}

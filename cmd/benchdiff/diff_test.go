@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// jsonSnapshot renders bench lines as the go test -json stream `make bench`
+// writes, interleaved with the noise lines a real run produces.
+func jsonSnapshot(lines ...string) string {
+	var sb strings.Builder
+	sb.WriteString(`{"Action":"start","Package":"flordb"}` + "\n")
+	sb.WriteString(`{"Action":"output","Package":"flordb","Output":"goos: linux\n"}` + "\n")
+	for _, l := range lines {
+		sb.WriteString(fmt.Sprintf(`{"Action":"output","Package":"flordb","Output":"%s\n"}`, l) + "\n")
+	}
+	sb.WriteString(`{"Action":"output","Package":"flordb","Output":"PASS\n"}` + "\n")
+	sb.WriteString(`{"Action":"pass","Package":"flordb"}` + "\n")
+	return sb.String()
+}
+
+func bench(name string, ns float64, allocs int) string {
+	return fmt.Sprintf("%s-8   \\t     100\\t  %g ns/op\\t  512 B/op\\t  %d allocs/op", name, ns, allocs)
+}
+
+func parse(t *testing.T, snapshot string) map[string]BenchResult {
+	t.Helper()
+	m, err := ParseSnapshot(strings.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseSnapshotJSONAndText(t *testing.T) {
+	m := parse(t, jsonSnapshot(
+		bench("BenchmarkC14ScanAggregate", 7000000, 761),
+		"BenchmarkC13GroupCommit16-8  \\t 1000\\t 256000 ns/op\\t 0.750 fsyncs/commit\\t 100 B/op\\t 9 allocs/op",
+	))
+	r, ok := m["BenchmarkC14ScanAggregate"]
+	if !ok || r.NsPerOp != 7e6 || !r.HasAllocs || r.AllocsPerOp != 761 {
+		t.Fatalf("bad parse: %+v (ok=%v)", r, ok)
+	}
+	// GOMAXPROCS suffix stripped; custom metrics ignored.
+	if r, ok := m["BenchmarkC13GroupCommit16"]; !ok || r.NsPerOp != 256000 || r.AllocsPerOp != 9 {
+		t.Fatalf("bad parse with custom metric: %+v (ok=%v)", r, ok)
+	}
+	// Plain text form parses identically.
+	m2 := parse(t, "BenchmarkC14ScanAggregate-8 \t 100 \t 7e+06 ns/op \t 512 B/op \t 761 allocs/op\nok flordb 1.2s\n")
+	if m2["BenchmarkC14ScanAggregate"].NsPerOp != 7e6 {
+		t.Fatalf("text parse: %+v", m2)
+	}
+}
+
+func TestParseSnapshotKeepsBestOfRepeatedRuns(t *testing.T) {
+	m := parse(t, jsonSnapshot(
+		bench("BenchmarkX", 120, 10),
+		bench("BenchmarkX", 100, 12),
+	))
+	if r := m["BenchmarkX"]; r.NsPerOp != 100 || r.AllocsPerOp != 10 {
+		t.Fatalf("want min envelope 100ns/10allocs, got %+v", r)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := parse(t, jsonSnapshot(bench("BenchmarkHot", 1000000, 100)))
+	// 26% slower: beyond the 25% gate.
+	cur := parse(t, jsonSnapshot(bench("BenchmarkHot", 1260000, 100)))
+	rep := Compare(base, cur, DefaultOptions())
+	if !rep.Failed() || len(rep.Regressions) != 1 {
+		t.Fatalf("regression not flagged: %+v", rep)
+	}
+	if !strings.Contains(rep.Regressions[0], "ns/op") {
+		t.Fatalf("regression line should name the metric: %q", rep.Regressions[0])
+	}
+	// 24% slower: within the gate.
+	cur = parse(t, jsonSnapshot(bench("BenchmarkHot", 1240000, 100)))
+	if rep := Compare(base, cur, DefaultOptions()); rep.Failed() {
+		t.Fatalf("within-threshold change failed the gate: %+v", rep)
+	}
+}
+
+func TestCompareFlagsAllocRegressionIndependently(t *testing.T) {
+	base := parse(t, jsonSnapshot(bench("BenchmarkHot", 1000000, 100)))
+	cur := parse(t, jsonSnapshot(bench("BenchmarkHot", 1000000, 150)))
+	rep := Compare(base, cur, DefaultOptions())
+	if !rep.Failed() || !strings.Contains(rep.Regressions[0], "allocs/op") {
+		t.Fatalf("alloc regression not flagged: %+v", rep)
+	}
+	// Allocation-free baseline gaining a couple of allocs stays within the
+	// absolute slack instead of tripping an infinite ratio.
+	base = parse(t, jsonSnapshot(bench("BenchmarkLean", 1000000, 0)))
+	cur = parse(t, jsonSnapshot(bench("BenchmarkLean", 1000000, 2)))
+	if rep := Compare(base, cur, DefaultOptions()); rep.Failed() {
+		t.Fatalf("slack not applied: %+v", rep)
+	}
+	cur = parse(t, jsonSnapshot(bench("BenchmarkLean", 1000000, 40)))
+	if rep := Compare(base, cur, DefaultOptions()); !rep.Failed() {
+		t.Fatalf("0 -> 40 allocs must fail: %+v", rep)
+	}
+}
+
+func TestCompareReportsImprovementWithoutFailing(t *testing.T) {
+	base := parse(t, jsonSnapshot(bench("BenchmarkHot", 26000000, 100850)))
+	cur := parse(t, jsonSnapshot(bench("BenchmarkHot", 7000000, 761)))
+	rep := Compare(base, cur, DefaultOptions())
+	if rep.Failed() {
+		t.Fatalf("improvement failed the gate: %+v", rep)
+	}
+	if len(rep.Improvements) != 2 { // ns/op and allocs/op both improved
+		t.Fatalf("improvements not reported: %+v", rep)
+	}
+}
+
+func TestCompareFlagsMissingAndTolsNewBenchmarks(t *testing.T) {
+	base := parse(t, jsonSnapshot(bench("BenchmarkOld", 1000, 1), bench("BenchmarkKept", 1000000, 5)))
+	cur := parse(t, jsonSnapshot(bench("BenchmarkKept", 1000000, 5), bench("BenchmarkNew", 500, 0)))
+	rep := Compare(base, cur, DefaultOptions())
+	if !rep.Failed() || len(rep.Missing) != 1 || !strings.Contains(rep.Missing[0], "BenchmarkOld") {
+		t.Fatalf("missing benchmark not flagged: %+v", rep)
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "BenchmarkNew" {
+		t.Fatalf("new benchmark not reported: %+v", rep)
+	}
+}
+
+func TestCompareNsFloorSkipsMicrobenchNoise(t *testing.T) {
+	base := parse(t, jsonSnapshot(bench("BenchmarkTiny", 200, 3)))
+	cur := parse(t, jsonSnapshot(bench("BenchmarkTiny", 700, 3))) // 3.5x but sub-floor
+	if rep := Compare(base, cur, DefaultOptions()); rep.Failed() {
+		t.Fatalf("sub-floor ns noise failed the gate: %+v", rep)
+	}
+	// The floor never silences allocs.
+	cur = parse(t, jsonSnapshot(bench("BenchmarkTiny", 200, 30)))
+	if rep := Compare(base, cur, DefaultOptions()); !rep.Failed() {
+		t.Fatalf("alloc regression hidden by ns floor: %+v", rep)
+	}
+}
+
+// TestGateFailsOnSyntheticallyRegressedSnapshot drives the exact entry
+// point the CI step runs (`go run ./cmd/benchdiff` -> run) on a real
+// baseline and a synthetically regressed copy, demonstrating the bench-gate
+// step fails end to end.
+func TestGateFailsOnSyntheticallyRegressedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_baseline.json")
+	latestPath := filepath.Join(dir, "BENCH_latest.json")
+	baseline := jsonSnapshot(
+		bench("BenchmarkC14ScanAggregate", 7000000, 761),
+		bench("BenchmarkC8PointQuery", 365000, 1066),
+	)
+	regressed := jsonSnapshot(
+		bench("BenchmarkC14ScanAggregate", 21000000, 761), // 3x slower
+		bench("BenchmarkC8PointQuery", 365000, 1066),
+	)
+	writeFile(t, basePath, baseline)
+	writeFile(t, latestPath, regressed)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run(basePath, latestPath, DefaultOptions(), devnull); err == nil {
+		t.Fatal("gate passed a 3x regression")
+	}
+	// The identical snapshot passes.
+	writeFile(t, latestPath, baseline)
+	if err := run(basePath, latestPath, DefaultOptions(), devnull); err != nil {
+		t.Fatalf("gate failed identical snapshots: %v", err)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

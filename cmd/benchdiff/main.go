@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline snapshot (go test -json)")
+		latestPath   = flag.String("latest", "BENCH_latest.json", "freshly measured snapshot (go test -json)")
+		maxRegress   = flag.Float64("max-regress", 0.25, "tolerated fractional regression on ns/op and allocs/op")
+		floorNs      = flag.Float64("floor-ns", 1000, "skip ns/op comparison when both sides are below this (single-iteration noise)")
+		allocSlack   = flag.Float64("alloc-slack", 2, "absolute allocs/op increase tolerated on top of the fraction")
+	)
+	flag.Parse()
+	opts := Options{MaxRegress: *maxRegress, FloorNs: *floorNs, AllocSlack: *allocSlack}
+	if err := run(*baselinePath, *latestPath, opts, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run loads both snapshots, compares them, renders the report, and returns
+// an error when the gate should fail the build.
+func run(baselinePath, latestPath string, opts Options, out *os.File) error {
+	baseline, err := loadSnapshot(baselinePath)
+	if err != nil {
+		return err
+	}
+	latest, err := loadSnapshot(latestPath)
+	if err != nil {
+		return err
+	}
+	rep := Compare(baseline, latest, opts)
+	rep.Render(out)
+	if rep.Failed() {
+		return fmt.Errorf("benchdiff: gate failed: %d regression(s), %d missing benchmark(s)",
+			len(rep.Regressions), len(rep.Missing))
+	}
+	return nil
+}
+
+func loadSnapshot(path string) (map[string]BenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	defer f.Close()
+	snap, err := ParseSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if len(snap) == 0 {
+		return nil, fmt.Errorf("benchdiff: %s contains no benchmark results", path)
+	}
+	return snap, nil
+}

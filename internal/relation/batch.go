@@ -1,0 +1,663 @@
+package relation
+
+import "fmt"
+
+// Batch execution. A Batch is a fixed-size, column-oriented chunk of rows
+// with a selection vector: operators process whole batches instead of one
+// row at a time, which amortizes interface dispatch, eliminates per-row
+// output allocation, and lets predicates run as tight loops over column
+// slices. MVCC visibility composes for free: a batch scan materializes a
+// contiguous chunk of the append-only row store and records only the rows
+// visible at the pinned epoch in the selection vector, so every downstream
+// operator inherits snapshot semantics by honoring Sel.
+//
+// Ownership contract: a Batch returned by NextBatch — its column slices and
+// its selection vector — is valid only until the next NextBatch call on the
+// same iterator. Producers reuse buffers across batches; consumers that
+// retain values must copy them (RowsFromBatches does). Consumers may compact
+// Sel of a batch they received in place; they must not mutate column values.
+
+// DefaultBatchSize is the number of rows a batch-producing operator packs
+// per chunk. 1024 rows keeps a handful of column slices L2-resident while
+// amortizing per-batch overhead to noise.
+const DefaultBatchSize = 1024
+
+// Batch is one column-oriented chunk of rows.
+type Batch struct {
+	// Cols holds one value slice per schema column, each of physical length
+	// n. A column a batch scan was told to prune is nil; downstream
+	// operators never read pruned columns.
+	Cols [][]Value
+	// Sel is the selection vector: the physical row indices (ascending,
+	// each in [0, n)) that are live in this batch. Filters compact it.
+	Sel []int
+
+	n      int // physical rows materialized in each non-nil column
+	schema *Schema
+}
+
+// NewBatch allocates a batch with capacity for size rows of the schema, all
+// columns materialized, empty selection. Operators that build batches from
+// scratch (adapters, joins) use it and reuse the buffers across calls.
+func NewBatch(schema *Schema, size int) *Batch {
+	b := &Batch{schema: schema, Cols: make([][]Value, schema.Len())}
+	for i := range b.Cols {
+		b.Cols[i] = make([]Value, 0, size)
+	}
+	b.Sel = make([]int, 0, size)
+	return b
+}
+
+// Schema returns the schema the columns are laid out by.
+func (b *Batch) Schema() *Schema { return b.schema }
+
+// Len returns the number of selected (live) rows.
+func (b *Batch) Len() int { return len(b.Sel) }
+
+// Size returns the physical row count materialized in each column.
+func (b *Batch) Size() int { return b.n }
+
+// reset truncates the batch for refilling.
+func (b *Batch) reset() {
+	for i := range b.Cols {
+		if b.Cols[i] != nil {
+			b.Cols[i] = b.Cols[i][:0]
+		}
+	}
+	b.Sel = b.Sel[:0]
+	b.n = 0
+}
+
+// row copies physical row i into dst (allocated when nil or short).
+func (b *Batch) row(i int, dst Row) Row {
+	if cap(dst) < len(b.Cols) {
+		dst = make(Row, len(b.Cols))
+	}
+	dst = dst[:len(b.Cols)]
+	for j, col := range b.Cols {
+		if col == nil {
+			dst[j] = Value{}
+			continue
+		}
+		dst[j] = col[i]
+	}
+	return dst
+}
+
+// BatchIterator is the batch-at-a-time operator interface, the vectorized
+// sibling of Iterator. NextBatch returns the next non-empty batch or
+// (nil, false) at end of stream.
+type BatchIterator interface {
+	Schema() *Schema
+	NextBatch() (*Batch, bool)
+}
+
+// ---------- Row <-> batch adapters ----------
+
+// RowsFromBatchesOp adapts a BatchIterator into a row Iterator at a
+// pipeline boundary (sort, distinct, limit, final materialization). Each
+// emitted row is freshly allocated, since batch buffers are reused.
+type RowsFromBatchesOp struct {
+	in  BatchIterator
+	cur *Batch
+	i   int // next position within cur.Sel
+}
+
+// NewRowsFromBatches wraps a batch stream as a row stream.
+func NewRowsFromBatches(in BatchIterator) *RowsFromBatchesOp {
+	return &RowsFromBatchesOp{in: in}
+}
+
+// Schema implements Iterator.
+func (r *RowsFromBatchesOp) Schema() *Schema { return r.in.Schema() }
+
+// Next implements Iterator.
+func (r *RowsFromBatchesOp) Next() (Row, bool) {
+	for {
+		if r.cur != nil && r.i < len(r.cur.Sel) {
+			row := r.cur.row(r.cur.Sel[r.i], nil)
+			r.i++
+			return row, true
+		}
+		b, ok := r.in.NextBatch()
+		if !ok {
+			return nil, false
+		}
+		r.cur, r.i = b, 0
+	}
+}
+
+// BatchFromRowsOp adapts a row Iterator into a BatchIterator by packing up
+// to size rows per batch with an identity selection vector. It lets batch
+// operators run over row-producing sources (index paths, virtual tables)
+// and gives equivalence tests a way to feed identical inputs to both paths.
+type BatchFromRowsOp struct {
+	in    Iterator
+	batch *Batch
+	size  int
+}
+
+// NewBatchFromRows wraps a row stream as a batch stream.
+func NewBatchFromRows(in Iterator, size int) *BatchFromRowsOp {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &BatchFromRowsOp{in: in, batch: NewBatch(in.Schema(), size), size: size}
+}
+
+// Schema implements BatchIterator.
+func (a *BatchFromRowsOp) Schema() *Schema { return a.in.Schema() }
+
+// NextBatch implements BatchIterator.
+func (a *BatchFromRowsOp) NextBatch() (*Batch, bool) {
+	b := a.batch
+	b.reset()
+	for b.n < a.size {
+		r, ok := a.in.Next()
+		if !ok {
+			break
+		}
+		for j := range b.Cols {
+			b.Cols[j] = append(b.Cols[j], r[j])
+		}
+		b.Sel = append(b.Sel, b.n)
+		b.n++
+	}
+	if b.n == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
+// ---------- Batch scan ----------
+
+// batchStater is the internal surface batch scans pin table state through:
+// both Table (latest visibility) and TableSnapshot (epoch visibility)
+// expose their published state and the epoch to filter it at.
+type batchStater interface {
+	batchState() (*tableState, int64)
+}
+
+// BatchScanOp scans a table's row store in contiguous chunks, transposing
+// each chunk into column slices and recording the epoch-visible rows in the
+// selection vector. Like ScanOp, state resolves lazily on the first
+// NextBatch, so building a plan (EXPLAIN) costs nothing. Column pruning:
+// when needed is non-nil, only those columns are materialized.
+type BatchScanOp struct {
+	src      TableReader
+	schema   *Schema
+	needed   []int // nil = all columns
+	size     int
+	batch    *Batch
+	cols     []int // resolved column positions to materialize
+	identity []int // pristine 0..size-1, copied into Sel (filters compact Sel in place)
+	resolved bool
+
+	// Direct row-store walk (Table / TableSnapshot).
+	st    *tableState
+	epoch int64
+	base  int
+
+	// Fallback for readers without a published state.
+	rows []Row
+}
+
+// NewBatchScan returns a batch scan over a table read surface. needed lists
+// the schema positions to materialize (nil for all); size <= 0 selects
+// DefaultBatchSize.
+func NewBatchScan(t TableReader, needed []int, size int) *BatchScanOp {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &BatchScanOp{src: t, schema: t.Schema(), needed: needed, size: size}
+}
+
+// Schema implements BatchIterator.
+func (s *BatchScanOp) Schema() *Schema { return s.schema }
+
+func (s *BatchScanOp) resolve() {
+	s.resolved = true
+	s.batch = &Batch{schema: s.schema, Cols: make([][]Value, s.schema.Len())}
+	s.cols = s.needed
+	if s.cols == nil {
+		s.cols = make([]int, s.schema.Len())
+		for i := range s.cols {
+			s.cols[i] = i
+		}
+	}
+	for _, c := range s.cols {
+		s.batch.Cols[c] = make([]Value, s.size)
+	}
+	s.batch.Sel = make([]int, s.size)
+	s.identity = make([]int, s.size)
+	for i := range s.identity {
+		s.identity[i] = i
+	}
+	if bp, ok := s.src.(batchStater); ok {
+		s.st, s.epoch = bp.batchState()
+		return
+	}
+	s.rows = s.src.Rows() // already visibility-filtered
+}
+
+// NextBatch implements BatchIterator.
+func (s *BatchScanOp) NextBatch() (*Batch, bool) {
+	if !s.resolved {
+		s.resolve()
+	}
+	for {
+		b := s.batch
+		var store []Row
+		if s.st != nil {
+			store = s.st.rows
+		} else {
+			store = s.rows
+		}
+		if s.base >= len(store) {
+			return nil, false
+		}
+		end := s.base + s.size
+		if end > len(store) {
+			end = len(store)
+		}
+		chunk := store[s.base:end]
+		n := len(chunk)
+		for _, j := range s.cols {
+			col := b.Cols[j][:s.size][:n]
+			for i, r := range chunk {
+				col[i] = r[j]
+			}
+			b.Cols[j] = col
+		}
+		b.n = n
+		// Selection: row i is selected iff row store entry base+i is
+		// visible at the pinned epoch. The all-visible case (no tombstones,
+		// nothing newer than the epoch — the common shape for
+		// append-mostly tables) restores the identity selection with one
+		// copy instead of a per-row append loop.
+		sel := b.Sel[:s.size][:n]
+		if s.st != nil {
+			born, dead := s.st.born[s.base:end], s.st.dead[s.base:end]
+			k := 0
+			for i := 0; i < n; i++ {
+				if born[i] <= s.epoch && (dead[i] == 0 || dead[i] > s.epoch) {
+					sel[k] = i
+					k++
+				}
+			}
+			b.Sel = sel[:k]
+		} else {
+			copy(sel, s.identity[:n])
+			b.Sel = sel
+		}
+		s.base = end
+		if len(b.Sel) > 0 {
+			return b, true
+		}
+		// A chunk of pure tombstones: pull the next one.
+	}
+}
+
+// ---------- Batch filter ----------
+
+// BatchPredicate evaluates a predicate over a whole batch, compacting the
+// selection vector in place to the rows that pass.
+type BatchPredicate func(*Batch)
+
+// BatchFilterOp applies a vectorized predicate to each batch, dropping
+// batches the predicate empties.
+type BatchFilterOp struct {
+	in   BatchIterator
+	pred BatchPredicate
+}
+
+// NewBatchFilter wraps a batch stream with a vectorized predicate.
+func NewBatchFilter(in BatchIterator, pred BatchPredicate) *BatchFilterOp {
+	return &BatchFilterOp{in: in, pred: pred}
+}
+
+// Schema implements BatchIterator.
+func (f *BatchFilterOp) Schema() *Schema { return f.in.Schema() }
+
+// NextBatch implements BatchIterator.
+func (f *BatchFilterOp) NextBatch() (*Batch, bool) {
+	for {
+		b, ok := f.in.NextBatch()
+		if !ok {
+			return nil, false
+		}
+		f.pred(b)
+		if len(b.Sel) > 0 {
+			return b, true
+		}
+	}
+}
+
+// ---------- Batch project ----------
+
+// BatchProjExpr computes one output column of a projection. It is the
+// shared compiled form for both execution modes: the row-at-a-time path
+// converts it with RowProjExprs, the batch path evaluates pass-through
+// columns by aliasing the input slice and computed columns row-by-row over
+// a scratch row populated with just the columns the expression reads.
+type BatchProjExpr struct {
+	Name string
+	Type Type
+	// Input is the input column a pass-through aliases. An expression with
+	// nil Eval is a pass-through: the batch path aliases the input slice
+	// (zero copy, zero eval).
+	Input int
+	// NeedCols lists the input columns Eval reads; the batch path copies
+	// only these into the scratch row per evaluated row.
+	NeedCols []int
+	// Eval computes the value from a row of the input schema; nil marks a
+	// pass-through of column Input. Evaluation errors are captured out of
+	// band (see sqlparse's execCtx), matching ProjExpr.
+	Eval func(Row) Value
+}
+
+// PassThrough builds a pass-through projection of input column pos.
+func PassThrough(name string, typ Type, pos int) BatchProjExpr {
+	return BatchProjExpr{Name: name, Type: typ, Input: pos}
+}
+
+// RowProjExprs converts compiled projection expressions to the row-at-a-time
+// form NewProject consumes.
+func RowProjExprs(exprs []BatchProjExpr) []ProjExpr {
+	out := make([]ProjExpr, len(exprs))
+	for i, e := range exprs {
+		pe := ProjExpr{Name: e.Name, Type: e.Type}
+		if e.Eval == nil {
+			pos := e.Input
+			pe.Eval = func(r Row) Value { return r[pos] }
+		} else {
+			pe.Eval = e.Eval
+		}
+		out[i] = pe
+	}
+	return out
+}
+
+// BatchProjectOp maps input batches through projection expressions.
+// Pass-through columns alias the input column slices and the output shares
+// the input's selection vector; computed columns are evaluated only at
+// selected positions.
+type BatchProjectOp struct {
+	in      BatchIterator
+	exprs   []BatchProjExpr
+	schema  *Schema
+	out     Batch
+	scratch Row
+}
+
+// NewBatchProject builds a vectorized projection operator.
+func NewBatchProject(in BatchIterator, exprs []BatchProjExpr) (*BatchProjectOp, error) {
+	cols := make([]Column, len(exprs))
+	inWidth := in.Schema().Len()
+	for i, e := range exprs {
+		if e.Eval == nil && (e.Input < 0 || e.Input >= inWidth) {
+			return nil, fmt.Errorf("relation: batch project: pass-through column %d out of range", e.Input)
+		}
+		cols[i] = Column{Name: e.Name, Type: e.Type}
+	}
+	s, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchProjectOp{
+		in: in, exprs: exprs, schema: s,
+		out:     Batch{schema: s, Cols: make([][]Value, len(exprs))},
+		scratch: make(Row, inWidth),
+	}, nil
+}
+
+// Schema implements BatchIterator.
+func (p *BatchProjectOp) Schema() *Schema { return p.schema }
+
+// NextBatch implements BatchIterator.
+func (p *BatchProjectOp) NextBatch() (*Batch, bool) {
+	b, ok := p.in.NextBatch()
+	if !ok {
+		return nil, false
+	}
+	out := &p.out
+	out.n = b.n
+	out.Sel = b.Sel
+	for j, e := range p.exprs {
+		if e.Eval == nil {
+			out.Cols[j] = b.Cols[e.Input]
+			continue
+		}
+		col := out.Cols[j]
+		if cap(col) < b.n {
+			col = make([]Value, b.n)
+		}
+		col = col[:b.n]
+		for _, i := range b.Sel {
+			for _, c := range e.NeedCols {
+				p.scratch[c] = b.Cols[c][i]
+			}
+			col[i] = e.Eval(p.scratch)
+		}
+		out.Cols[j] = col
+	}
+	return out, true
+}
+
+// ---------- Batch hash-join probe ----------
+
+// BatchHashJoinOp is the vectorized sibling of HashJoinOp: the build side
+// is drained into a hash table on first use (lazily, so EXPLAIN is free)
+// and the probe side streams batch-at-a-time, each selected probe row
+// emitting its matches into a column-oriented output batch. Output rows are
+// always left-columns-then-right regardless of which side builds.
+type BatchHashJoinOp struct {
+	probe     BatchIterator
+	buildSrc  Iterator
+	buildRows map[string][]Row
+	probeCols []int
+	buildCols []int
+	schema    *Schema
+	// buildIsLeft reports the build side supplies the left half of output
+	// rows (the probe stream supplies the right half).
+	buildIsLeft bool
+	built       bool
+	out         Batch
+	keyBuf      []byte
+}
+
+// NewBatchHashJoin joins a batched probe stream against a materialized
+// build stream on probeCols[i] == buildCols[i] (schema positions). When
+// buildIsLeft, output rows are build-row ++ probe-row; otherwise
+// probe-row ++ build-row. schema must be the concatenated output schema.
+func NewBatchHashJoin(probe BatchIterator, build Iterator, probeCols, buildCols []int, schema *Schema, buildIsLeft bool) (*BatchHashJoinOp, error) {
+	if len(probeCols) != len(buildCols) || len(probeCols) == 0 {
+		return nil, fmt.Errorf("relation: batch join requires equal, non-empty key lists")
+	}
+	return &BatchHashJoinOp{
+		probe: probe, buildSrc: build,
+		probeCols: probeCols, buildCols: buildCols,
+		schema: schema, buildIsLeft: buildIsLeft,
+		out: Batch{schema: schema, Cols: make([][]Value, schema.Len())},
+	}, nil
+}
+
+// Schema implements BatchIterator.
+func (j *BatchHashJoinOp) Schema() *Schema { return j.schema }
+
+func (j *BatchHashJoinOp) build() {
+	j.buildRows = make(map[string][]Row)
+	for {
+		r, ok := j.buildSrc.Next()
+		if !ok {
+			break
+		}
+		key, ok := appendJoinKey(j.keyBuf[:0], r, j.buildCols)
+		j.keyBuf = key
+		if !ok {
+			continue
+		}
+		j.buildRows[string(key)] = append(j.buildRows[string(key)], r)
+	}
+	j.built = true
+}
+
+// appendBatchJoinKey builds the join key for batch row i into dst; ok is
+// false when any key column is NULL (NULL keys never match).
+func appendBatchJoinKey(dst []byte, b *Batch, i int, pos []int) (_ []byte, ok bool) {
+	for _, p := range pos {
+		v := &b.Cols[p][i]
+		if v.IsNull() {
+			return dst, false
+		}
+		dst = v.appendKey(dst)
+		dst = append(dst, '\x1f')
+	}
+	return dst, true
+}
+
+// NextBatch implements BatchIterator.
+func (j *BatchHashJoinOp) NextBatch() (*Batch, bool) {
+	if !j.built {
+		j.build()
+	}
+	probeWidth := j.probe.Schema().Len()
+	buildWidth := j.schema.Len() - probeWidth
+	// Output column ranges for the two sides.
+	probeBase, buildBase := 0, probeWidth
+	if j.buildIsLeft {
+		probeBase, buildBase = buildWidth, 0
+	}
+	for {
+		b, ok := j.probe.NextBatch()
+		if !ok {
+			return nil, false
+		}
+		out := &j.out
+		out.reset()
+		for c := range out.Cols {
+			if out.Cols[c] == nil {
+				out.Cols[c] = make([]Value, 0, DefaultBatchSize)
+			}
+		}
+		n := 0
+		for _, i := range b.Sel {
+			key, ok := appendBatchJoinKey(j.keyBuf[:0], b, i, j.probeCols)
+			j.keyBuf = key
+			if !ok {
+				continue
+			}
+			for _, m := range j.buildRows[string(key)] {
+				for c := 0; c < probeWidth; c++ {
+					out.Cols[probeBase+c] = append(out.Cols[probeBase+c], b.Cols[c][i])
+				}
+				for c := 0; c < buildWidth; c++ {
+					out.Cols[buildBase+c] = append(out.Cols[buildBase+c], m[c])
+				}
+				out.Sel = append(out.Sel, n)
+				n++
+			}
+		}
+		out.n = n
+		if n > 0 {
+			return out, true
+		}
+		// No probe row matched in this batch; pull the next one.
+	}
+}
+
+// ---------- Batch aggregation ----------
+
+// BatchGroupOp is the vectorized sibling of GroupOp: it consumes batches,
+// builds group keys and updates aggregate states directly from column
+// slices — no per-row projection allocation — and emits the (small) result
+// set as a row Iterator, which the post-aggregation pipeline stays on.
+type BatchGroupOp struct {
+	in       BatchIterator
+	groupBy  []string
+	aggs     []AggSpec
+	schema   *Schema
+	groupPos []int
+	aggPos   []int
+	results  []Row
+	done     bool
+	i        int
+}
+
+// NewBatchGroup builds a vectorized grouping/aggregation operator. With no
+// groupBy columns it produces exactly one row (global aggregates).
+func NewBatchGroup(in BatchIterator, groupBy []string, aggs []AggSpec) (*BatchGroupOp, error) {
+	schema, groupPos, aggPos, err := groupSchema(in.Schema(), groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchGroupOp{
+		in: in, groupBy: groupBy, aggs: aggs,
+		schema: schema, groupPos: groupPos, aggPos: aggPos,
+	}, nil
+}
+
+// Schema implements Iterator.
+func (g *BatchGroupOp) Schema() *Schema { return g.schema }
+
+// Next implements Iterator.
+func (g *BatchGroupOp) Next() (Row, bool) {
+	if !g.done {
+		g.run()
+		g.done = true
+	}
+	if g.i >= len(g.results) {
+		return nil, false
+	}
+	r := g.results[g.i]
+	g.i++
+	return r, true
+}
+
+func (g *BatchGroupOp) run() {
+	h := newAggHash()
+	var keyBuf []byte
+	// Per-batch column slices, hoisted so the per-row loop does no
+	// double-indexed Cols lookups.
+	gcols := make([][]Value, len(g.groupPos))
+	acols := make([][]Value, len(g.aggs))
+	for {
+		b, ok := g.in.NextBatch()
+		if !ok {
+			break
+		}
+		h.sawAny = h.sawAny || len(b.Sel) > 0
+		for k, p := range g.groupPos {
+			gcols[k] = b.Cols[p]
+		}
+		for k, p := range g.aggPos {
+			if p >= 0 {
+				acols[k] = b.Cols[p]
+			}
+		}
+		for _, i := range b.Sel {
+			keyBuf = keyBuf[:0]
+			for _, col := range gcols {
+				keyBuf = col[i].appendKey(keyBuf)
+				keyBuf = append(keyBuf, '\x1f')
+			}
+			grp := h.find(keyBuf)
+			if grp == nil {
+				keyRow := make(Row, len(gcols))
+				for k, col := range gcols {
+					keyRow[k] = col[i]
+				}
+				grp = &aggGroup{key: keyRow, states: make([]aggState, len(g.aggs))}
+				h.insert(keyBuf, grp)
+			}
+			for k := range g.aggs {
+				if g.aggs[k].Kind == AggCountStar {
+					grp.states[k].count++
+					continue
+				}
+				grp.states[k].observe(g.aggs[k].Kind, &acols[k][i])
+			}
+		}
+	}
+	g.results = h.finish(len(g.groupPos), g.aggs)
+}

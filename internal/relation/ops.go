@@ -457,6 +457,155 @@ type aggState struct {
 	seen  bool
 }
 
+// observe folds one non-NULL candidate value into the state, doing only the
+// work the aggregate kind needs. NULLs are ignored (SQL aggregates skip
+// them); AggCountStar never reaches here — callers bump count directly. The
+// pointer receiver and operand keep 56-byte Value copies off the hot loop.
+func (st *aggState) observe(kind AggKind, v *Value) {
+	if v.IsNull() {
+		return
+	}
+	switch kind {
+	case AggCount:
+		st.count++
+	case AggSum, AggAvg:
+		st.count++
+		if v.IsNumeric() {
+			st.sum += v.AsFloat()
+		}
+	case AggMin:
+		if !st.seen || comparePtr(v, &st.min) < 0 {
+			st.min = *v
+		}
+		st.seen = true
+	case AggMax:
+		if !st.seen || comparePtr(v, &st.max) > 0 {
+			st.max = *v
+		}
+		st.seen = true
+	}
+}
+
+// aggGroup is one group's key tuple and per-aggregate states.
+type aggGroup struct {
+	key    Row
+	states []aggState
+}
+
+// aggHash accumulates groups in first-seen order; GroupOp and BatchGroupOp
+// share it so the two execution modes cannot diverge. It is a small
+// open-addressing table keyed by the encoded group-key bytes: group-by keys
+// are short (a tag byte plus payload per column) and looked up once per
+// input row, so an inlined FNV-1a hash plus linear probing beats the
+// general-purpose map it replaced by about 2x per row.
+type aggHash struct {
+	keys   []string    // encoded key per group, aligned with groups
+	groups []*aggGroup // first-seen order
+	table  []int32     // open addressing; entry = group index + 1, 0 = empty
+	mask   uint64
+	sawAny bool
+}
+
+func newAggHash() *aggHash {
+	return &aggHash{table: make([]int32, 64), mask: 63}
+}
+
+func hashKeyBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// find returns the group for the encoded key, or nil when unseen.
+func (h *aggHash) find(key []byte) *aggGroup {
+	i := hashKeyBytes(key) & h.mask
+	for {
+		slot := h.table[i]
+		if slot == 0 {
+			return nil
+		}
+		if h.keys[slot-1] == string(key) {
+			return h.groups[slot-1]
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// insert adds a group under the encoded key, which must not be present.
+func (h *aggHash) insert(key []byte, grp *aggGroup) {
+	if len(h.groups)+1 > len(h.table)*3/4 {
+		h.grow()
+	}
+	h.keys = append(h.keys, string(key))
+	h.groups = append(h.groups, grp)
+	i := hashKeyBytes(key) & h.mask
+	for h.table[i] != 0 {
+		i = (i + 1) & h.mask
+	}
+	h.table[i] = int32(len(h.groups))
+}
+
+func (h *aggHash) grow() {
+	h.table = make([]int32, len(h.table)*2)
+	h.mask = uint64(len(h.table) - 1)
+	for idx, k := range h.keys {
+		i := hashKeyBytes([]byte(k)) & h.mask
+		for h.table[i] != 0 {
+			i = (i + 1) & h.mask
+		}
+		h.table[i] = int32(idx + 1)
+	}
+}
+
+// finish renders the accumulated groups as output rows. A global aggregate
+// (no group columns) over empty input yields one row of zero/NULL.
+func (h *aggHash) finish(groupCols int, aggs []AggSpec) []Row {
+	if groupCols == 0 && !h.sawAny {
+		h.groups = append(h.groups, &aggGroup{key: Row{}, states: make([]aggState, len(aggs))})
+	}
+	out := make([]Row, 0, len(h.groups))
+	for _, grp := range h.groups {
+		row := make(Row, 0, len(grp.key)+len(aggs))
+		row = append(row, grp.key...)
+		for i, a := range aggs {
+			st := grp.states[i]
+			switch a.Kind {
+			case AggCount, AggCountStar:
+				row = append(row, Int(st.count))
+			case AggSum:
+				if st.count == 0 {
+					row = append(row, Null())
+				} else {
+					row = append(row, Float(st.sum))
+				}
+			case AggAvg:
+				if st.count == 0 {
+					row = append(row, Null())
+				} else {
+					row = append(row, Float(st.sum/float64(st.count)))
+				}
+			case AggMin:
+				if !st.seen {
+					row = append(row, Null())
+				} else {
+					row = append(row, st.min)
+				}
+			case AggMax:
+				if !st.seen {
+					row = append(row, Null())
+				} else {
+					row = append(row, st.max)
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
 // GroupOp implements hash aggregation with optional grouping columns.
 type GroupOp struct {
 	in       Iterator
@@ -473,25 +622,39 @@ type GroupOp struct {
 // NewGroup builds a grouping/aggregation operator. With no groupBy columns
 // it produces exactly one row (global aggregates).
 func NewGroup(in Iterator, groupBy []string, aggs []AggSpec) (*GroupOp, error) {
-	g := &GroupOp{in: in, groupBy: groupBy, aggs: aggs}
+	schema, groupPos, aggPos, err := groupSchema(in.Schema(), groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupOp{
+		in: in, groupBy: groupBy, aggs: aggs,
+		schema: schema, groupPos: groupPos, aggPos: aggPos,
+	}, nil
+}
+
+// groupSchema resolves the grouping columns and aggregate arguments against
+// the input schema and builds the output schema (group keys first, then one
+// column per aggregate). GroupOp and BatchGroupOp share it.
+func groupSchema(in *Schema, groupBy []string, aggs []AggSpec) (*Schema, []int, []int, error) {
 	var cols []Column
+	var groupPos, aggPos []int
 	for _, c := range groupBy {
-		p := in.Schema().Index(c)
+		p := in.Index(c)
 		if p < 0 {
-			return nil, fmt.Errorf("relation: group: no column %q", c)
+			return nil, nil, nil, fmt.Errorf("relation: group: no column %q", c)
 		}
-		g.groupPos = append(g.groupPos, p)
-		cols = append(cols, in.Schema().Col(p))
+		groupPos = append(groupPos, p)
+		cols = append(cols, in.Col(p))
 	}
 	for _, a := range aggs {
 		p := -1
 		if a.Kind != AggCountStar {
-			p = in.Schema().Index(a.Col)
+			p = in.Index(a.Col)
 			if p < 0 {
-				return nil, fmt.Errorf("relation: aggregate: no column %q", a.Col)
+				return nil, nil, nil, fmt.Errorf("relation: aggregate: no column %q", a.Col)
 			}
 		}
-		g.aggPos = append(g.aggPos, p)
+		aggPos = append(aggPos, p)
 		name := a.As
 		if name == "" {
 			name = aggName(a)
@@ -502,17 +665,16 @@ func NewGroup(in Iterator, groupBy []string, aggs []AggSpec) (*GroupOp, error) {
 			typ = TInt
 		case AggMin, AggMax:
 			if p >= 0 {
-				typ = in.Schema().Col(p).Type
+				typ = in.Col(p).Type
 			}
 		}
 		cols = append(cols, Column{Name: name, Type: typ})
 	}
 	s, err := NewSchema(cols...)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	g.schema = s
-	return g, nil
+	return s, groupPos, aggPos, nil
 }
 
 func aggName(a AggSpec) string {
@@ -551,99 +713,37 @@ func (g *GroupOp) Next() (Row, bool) {
 }
 
 func (g *GroupOp) run() {
-	type group struct {
-		key    Row
-		states []aggState
-	}
-	groups := make(map[string]*group)
-	var order []string
+	h := newAggHash()
 	var keyBuf []byte
-	sawAny := false
 	for {
 		r, ok := g.in.Next()
 		if !ok {
 			break
 		}
-		sawAny = true
+		h.sawAny = true
 		keyBuf = keyBuf[:0]
-		keyRow := make(Row, len(g.groupPos))
-		for i, p := range g.groupPos {
+		for _, p := range g.groupPos {
 			keyBuf = r[p].AppendKey(keyBuf)
 			keyBuf = append(keyBuf, '\x1f')
-			keyRow[i] = r[p]
 		}
-		key := string(keyBuf)
-		grp, ok := groups[key]
-		if !ok {
-			grp = &group{key: keyRow, states: make([]aggState, len(g.aggs))}
-			groups[key] = grp
-			order = append(order, key)
+		grp := h.find(keyBuf)
+		if grp == nil {
+			keyRow := make(Row, len(g.groupPos))
+			for i, p := range g.groupPos {
+				keyRow[i] = r[p]
+			}
+			grp = &aggGroup{key: keyRow, states: make([]aggState, len(g.aggs))}
+			h.insert(keyBuf, grp)
 		}
 		for i, a := range g.aggs {
-			st := &grp.states[i]
 			if a.Kind == AggCountStar {
-				st.count++
+				grp.states[i].count++
 				continue
 			}
-			v := r[g.aggPos[i]]
-			if v.IsNull() {
-				continue
-			}
-			st.count++
-			if v.IsNumeric() {
-				st.sum += v.AsFloat()
-			}
-			if !st.seen || Compare(v, st.min) < 0 {
-				st.min = v
-			}
-			if !st.seen || Compare(v, st.max) > 0 {
-				st.max = v
-			}
-			st.seen = true
+			grp.states[i].observe(a.Kind, &r[g.aggPos[i]])
 		}
 	}
-	if len(g.groupPos) == 0 && !sawAny {
-		// Global aggregate over empty input yields one row of zero/NULL.
-		order = append(order, "")
-		groups[""] = &group{key: Row{}, states: make([]aggState, len(g.aggs))}
-	}
-	for _, k := range order {
-		grp := groups[k]
-		out := make(Row, 0, len(grp.key)+len(g.aggs))
-		out = append(out, grp.key...)
-		for i, a := range g.aggs {
-			st := grp.states[i]
-			switch a.Kind {
-			case AggCount, AggCountStar:
-				out = append(out, Int(st.count))
-			case AggSum:
-				if st.count == 0 {
-					out = append(out, Null())
-				} else {
-					out = append(out, Float(st.sum))
-				}
-			case AggAvg:
-				if st.count == 0 {
-					out = append(out, Null())
-				} else {
-					out = append(out, Float(st.sum/float64(st.count)))
-				}
-			case AggMin:
-				if !st.seen {
-					out = append(out, Null())
-				} else {
-					out = append(out, st.min)
-				}
-			case AggMax:
-				if !st.seen {
-					out = append(out, Null())
-				} else {
-					out = append(out, st.max)
-				}
-			}
-		}
-		g.results = append(g.results, out)
-	}
+	g.results = h.finish(len(g.groupPos), g.aggs)
 }
 
 // ---------- Distinct ----------

@@ -302,6 +302,10 @@ func (t *Table) Rows() []Row {
 	return t.state.Load().rowsAt(latestEpoch)
 }
 
+// batchState exposes the published state and the epoch batch scans filter
+// visibility at (see BatchScanOp); latest reads see every non-tombstoned row.
+func (t *Table) batchState() (*tableState, int64) { return t.state.Load(), latestEpoch }
+
 // At pins the table's current state at the given epoch, returning a
 // consistent immutable view. Most callers want Database.Snapshot, which pins
 // every table of a database at one epoch.
@@ -478,6 +482,9 @@ func (v *TableSnapshot) Rows() []Row { return v.st.rowsAt(v.epoch) }
 
 // RowsByIDs returns the visible rows among ids in the given order.
 func (v *TableSnapshot) RowsByIDs(ids []RowID) []Row { return v.st.rowsByIDsAt(v.epoch, ids) }
+
+// batchState exposes the pinned state and epoch for batch scans.
+func (v *TableSnapshot) batchState() (*tableState, int64) { return v.st, v.epoch }
 
 // HashIndexOn returns the hash index over the given columns, if present.
 func (v *TableSnapshot) HashIndexOn(cols ...string) (*HashIndex, bool) {

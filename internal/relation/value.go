@@ -213,6 +213,11 @@ func (v Value) JSON() any {
 // type tag so that sorting heterogeneous columns is total and deterministic.
 func Compare(a, b Value) int { return comparePtr(&a, &b) }
 
+// ComparePtr is Compare on pointer operands, skipping the two 56-byte Value
+// copies per call. Vectorized predicate kernels compare a column slice
+// element against a literal once per row, so the copies would dominate.
+func ComparePtr(a, b *Value) int { return comparePtr(a, b) }
+
 // comparePtr is Compare without copying the 56-byte Value operands — the
 // form sort inner loops use, where the copies dominate the comparison.
 func comparePtr(a, b *Value) int {

@@ -453,6 +453,340 @@ func (b binder) compileScalarFunc(x *FuncCall) (func(relation.Row) (relation.Val
 	return nil, fmt.Errorf("sql: unknown function %q", x.Name)
 }
 
+// ---------- Vectorized predicate evaluation ----------
+
+// compileBatchPredicate is the vectorized entry point for filter
+// evaluation: it compiles a predicate into a kernel that evaluates the
+// expression over a whole batch and compacts the selection vector to the
+// passing rows. Comparisons between a column and a literal (either operand
+// order) or between two columns, IS [NOT] NULL on a column, [NOT] IN over a
+// literal list, [NOT] BETWEEN literal bounds, and AND/OR combinations of
+// those run as tight loops over column slices without closure dispatch.
+// Everything else falls back to the compiled row evaluator applied to a
+// scratch row populated with only the referenced columns. Row-at-a-time
+// semantics are preserved exactly: a NULL predicate result filters the row,
+// and evaluation errors park in evalErr and suppress all subsequent rows
+// (matching applyFilter).
+func (b binder) compileBatchPredicate(e Expr, evalErr *error) (relation.BatchPredicate, error) {
+	if k := b.kernelize(e); k != nil {
+		return k, nil
+	}
+	return b.batchFallback(e, evalErr)
+}
+
+// kernelize returns a closure-free vectorized kernel for the supported
+// predicate shapes, or nil when e needs the generic fallback. Kernels never
+// produce evaluation errors, which is what makes decomposing AND/OR safe:
+// with errors impossible, "filtered because false" and "filtered because
+// NULL" compose identically to the row evaluator's three-valued logic.
+func (b binder) kernelize(e Expr) relation.BatchPredicate {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		switch x.Op {
+		case "AND":
+			l, r := b.kernelize(x.Left), b.kernelize(x.Right)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(bt *relation.Batch) {
+				l(bt)
+				if len(bt.Sel) > 0 {
+					r(bt)
+				}
+			}
+		case "OR":
+			l, r := b.kernelize(x.Left), b.kernelize(x.Right)
+			if l == nil || r == nil {
+				return nil
+			}
+			return orKernel(l, r)
+		case "=", "!=", "<", "<=", ">", ">=":
+			if lref, ok := x.Left.(*ColumnRef); ok {
+				if rref, ok := x.Right.(*ColumnRef); ok {
+					lp, lerr := b.resolve(lref)
+					rp, rerr := b.resolve(rref)
+					if lerr != nil || rerr != nil {
+						return nil
+					}
+					return colColKernel(lp, rp, x.Op)
+				}
+				if lit, ok := literalOf(x.Right); ok {
+					p, err := b.resolve(lref)
+					if err != nil {
+						return nil
+					}
+					return colLitKernel(p, lit, x.Op)
+				}
+			}
+			if rref, ok := x.Right.(*ColumnRef); ok {
+				if lit, ok := literalOf(x.Left); ok {
+					p, err := b.resolve(rref)
+					if err != nil {
+						return nil
+					}
+					var flip = map[string]string{"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+					return colLitKernel(p, lit, flip[x.Op])
+				}
+			}
+		}
+	case *IsNullExpr:
+		ref, ok := x.Expr.(*ColumnRef)
+		if !ok {
+			return nil
+		}
+		p, err := b.resolve(ref)
+		if err != nil {
+			return nil
+		}
+		negate := x.Negate
+		return func(bt *relation.Batch) {
+			col := bt.Cols[p]
+			sel := bt.Sel[:0]
+			for _, i := range bt.Sel {
+				if col[i].IsNull() != negate {
+					sel = append(sel, i)
+				}
+			}
+			bt.Sel = sel
+		}
+	case *InExpr:
+		ref, ok := x.Expr.(*ColumnRef)
+		if !ok {
+			return nil
+		}
+		p, err := b.resolve(ref)
+		if err != nil {
+			return nil
+		}
+		lits := make([]relation.Value, 0, len(x.List))
+		for _, le := range x.List {
+			lit, ok := literalOf(le)
+			if !ok {
+				return nil
+			}
+			lits = append(lits, lit)
+		}
+		negate := x.Negate
+		return func(bt *relation.Batch) {
+			col := bt.Cols[p]
+			sel := bt.Sel[:0]
+			for _, i := range bt.Sel {
+				v := &col[i]
+				if v.IsNull() {
+					continue
+				}
+				match := false
+				for k := range lits {
+					// relation.Equal semantics: NULL list items never match.
+					if !lits[k].IsNull() && relation.ComparePtr(v, &lits[k]) == 0 {
+						match = true
+						break
+					}
+				}
+				if match != negate {
+					sel = append(sel, i)
+				}
+			}
+			bt.Sel = sel
+		}
+	case *BetweenExpr:
+		ref, ok := x.Expr.(*ColumnRef)
+		if !ok {
+			return nil
+		}
+		p, err := b.resolve(ref)
+		if err != nil {
+			return nil
+		}
+		lo, lok := literalOf(x.Lo)
+		hi, hok := literalOf(x.Hi)
+		if !lok || !hok {
+			return nil
+		}
+		if lo.IsNull() || hi.IsNull() {
+			// A NULL bound makes the predicate NULL for every row.
+			return func(bt *relation.Batch) { bt.Sel = bt.Sel[:0] }
+		}
+		negate := x.Negate
+		return func(bt *relation.Batch) {
+			col := bt.Cols[p]
+			sel := bt.Sel[:0]
+			for _, i := range bt.Sel {
+				v := &col[i]
+				if v.IsNull() {
+					continue
+				}
+				in := relation.ComparePtr(v, &lo) >= 0 && relation.ComparePtr(v, &hi) <= 0
+				if in != negate {
+					sel = append(sel, i)
+				}
+			}
+			bt.Sel = sel
+		}
+	}
+	return nil
+}
+
+// cmpWant maps a comparison operator to which Compare outcomes (-1, 0, +1,
+// indexed as 0, 1, 2) satisfy it, so kernels branch on a table instead of
+// re-switching on the operator string per row.
+func cmpWant(op string) [3]bool {
+	switch op {
+	case "=":
+		return [3]bool{false, true, false}
+	case "!=":
+		return [3]bool{true, false, true}
+	case "<":
+		return [3]bool{true, false, false}
+	case "<=":
+		return [3]bool{true, true, false}
+	case ">":
+		return [3]bool{false, false, true}
+	case ">=":
+		return [3]bool{false, true, true}
+	}
+	return [3]bool{}
+}
+
+// colLitKernel compares one column against a literal. NULL column values
+// never pass (SQL comparison with NULL is NULL); a NULL literal passes
+// nothing at all.
+func colLitKernel(pos int, lit relation.Value, op string) relation.BatchPredicate {
+	if lit.IsNull() {
+		return func(bt *relation.Batch) { bt.Sel = bt.Sel[:0] }
+	}
+	want := cmpWant(op)
+	return func(bt *relation.Batch) {
+		col := bt.Cols[pos]
+		sel := bt.Sel[:0]
+		for _, i := range bt.Sel {
+			v := &col[i]
+			if v.IsNull() {
+				continue
+			}
+			if want[relation.ComparePtr(v, &lit)+1] {
+				sel = append(sel, i)
+			}
+		}
+		bt.Sel = sel
+	}
+}
+
+// colColKernel compares two columns of the batch.
+func colColKernel(lpos, rpos int, op string) relation.BatchPredicate {
+	want := cmpWant(op)
+	return func(bt *relation.Batch) {
+		lcol, rcol := bt.Cols[lpos], bt.Cols[rpos]
+		sel := bt.Sel[:0]
+		for _, i := range bt.Sel {
+			lv, rv := &lcol[i], &rcol[i]
+			if lv.IsNull() || rv.IsNull() {
+				continue
+			}
+			if want[relation.ComparePtr(lv, rv)+1] {
+				sel = append(sel, i)
+			}
+		}
+		bt.Sel = sel
+	}
+}
+
+// orKernel runs both sides over copies of the selection vector and merges
+// the survivors. Because kernels are error-free, "row passes l OR r" is
+// exactly "l keeps it or r keeps it" under three-valued logic: NULL and
+// false both mean "not kept".
+func orKernel(l, r relation.BatchPredicate) relation.BatchPredicate {
+	var lbuf, rbuf []int
+	return func(bt *relation.Batch) {
+		lbuf = append(lbuf[:0], bt.Sel...)
+		rbuf = append(rbuf[:0], bt.Sel...)
+		out := bt.Sel[:0]
+		bt.Sel = lbuf
+		l(bt)
+		lres := bt.Sel
+		bt.Sel = rbuf
+		r(bt)
+		rres := bt.Sel
+		// Merge-union two ascending index lists back into the original
+		// buffer (the union is a subset of the original selection, so it
+		// fits; lres/rres live in separate buffers, so no aliasing).
+		i, j := 0, 0
+		for i < len(lres) && j < len(rres) {
+			switch {
+			case lres[i] < rres[j]:
+				out = append(out, lres[i])
+				i++
+			case lres[i] > rres[j]:
+				out = append(out, rres[j])
+				j++
+			default:
+				out = append(out, lres[i])
+				i++
+				j++
+			}
+		}
+		out = append(out, lres[i:]...)
+		out = append(out, rres[j:]...)
+		bt.Sel = out
+	}
+}
+
+// referencedCols lists the schema positions of every column reference in e,
+// deduplicated. The batch fallback populates only these in its scratch row.
+func (b binder) referencedCols(e Expr) []int {
+	seen := make(map[int]bool)
+	var out []int
+	walkColumnRefs(e, func(ref *ColumnRef) {
+		if i, err := b.resolve(ref); err == nil && !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	})
+	return out
+}
+
+// batchFallback evaluates an arbitrary predicate row-by-row over the batch
+// through the compiled row evaluator, copying only the referenced columns
+// into a reused scratch row. Still no per-row allocation — just no
+// column-at-a-time loop.
+func (b binder) batchFallback(e Expr, evalErr *error) (relation.BatchPredicate, error) {
+	f, err := b.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	need := b.referencedCols(e)
+	scratch := make(relation.Row, b.schema.Len())
+	return func(bt *relation.Batch) {
+		if *evalErr != nil {
+			bt.Sel = bt.Sel[:0]
+			return
+		}
+		sel := bt.Sel[:0]
+		for _, i := range bt.Sel {
+			for _, c := range need {
+				scratch[c] = bt.Cols[c][i]
+			}
+			v, err := f(scratch)
+			if err != nil {
+				*evalErr = err
+				break
+			}
+			if v.IsNull() {
+				continue
+			}
+			tb, err := truthy(v)
+			if err != nil {
+				*evalErr = err
+				break
+			}
+			if tb {
+				sel = append(sel, i)
+			}
+		}
+		bt.Sel = sel
+	}, nil
+}
+
 func truthy(v relation.Value) (bool, error) {
 	switch v.Type() {
 	case relation.TBool:

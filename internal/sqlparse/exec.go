@@ -152,48 +152,83 @@ func flattenAnd(e Expr) []Expr {
 	return []Expr{e}
 }
 
+// compileProjExpr compiles one output expression into the shared projection
+// form both execution modes consume: a plain column reference becomes a
+// pass-through (the batch path aliases the column, zero work per row);
+// anything else compiles to a row closure plus the set of input columns it
+// reads. captureErr=false mirrors the hidden-sort-column behavior, where
+// evaluation errors are dropped rather than surfaced.
+func compileProjExpr(b binder, ctx *execCtx, e Expr, name string, captureErr bool) (relation.BatchProjExpr, error) {
+	if cr, ok := e.(*ColumnRef); ok {
+		if i, err := b.resolve(cr); err == nil {
+			return relation.PassThrough(name, b.schema.Col(i).Type, i), nil
+		}
+	}
+	f, err := b.compile(e)
+	if err != nil {
+		return relation.BatchProjExpr{}, err
+	}
+	out := relation.BatchProjExpr{Name: name, Type: inferType(e, b.schema), NeedCols: b.referencedCols(e)}
+	if captureErr {
+		capturedErr := new(error)
+		ctx.register(capturedErr)
+		out.Eval = func(r relation.Row) relation.Value {
+			v, err := f(r)
+			if err != nil && *capturedErr == nil {
+				*capturedErr = err
+			}
+			return v
+		}
+	} else {
+		out.Eval = func(r relation.Row) relation.Value {
+			v, _ := f(r)
+			return v
+		}
+	}
+	return out, nil
+}
+
+// project applies the compiled projection to the stream in its native mode
+// and returns the (row-at-a-time) downstream iterator: projection is the
+// last vectorized operator of a simple pipeline, so its output converts to
+// rows for sort/distinct/limit/materialization.
+func project(in pipe, exprs []relation.BatchProjExpr) (relation.Iterator, error) {
+	if in.batched() {
+		bp, err := relation.NewBatchProject(in.batch, exprs)
+		if err != nil {
+			return nil, err
+		}
+		return relation.NewRowsFromBatches(bp), nil
+	}
+	return relation.NewProject(in.rows, relation.RowProjExprs(exprs))
+}
+
 // compileSimple handles the non-aggregate path.
-func compileSimple(in relation.Iterator, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx) (*compiled, error) {
-	b := binder{schema: in.Schema()}
+func compileSimple(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx) (*compiled, error) {
+	b := binder{schema: in.schema()}
 
 	// Output expressions.
-	var exprs []relation.ProjExpr
+	var exprs []relation.BatchProjExpr
 	var visible []string
 	if len(stmt.Items) == 0 { // SELECT *
-		for i := 0; i < in.Schema().Len(); i++ {
-			col := in.Schema().Col(i)
-			pos := i
-			exprs = append(exprs, relation.ProjExpr{Name: col.Name, Type: col.Type, Eval: func(r relation.Row) relation.Value { return r[pos] }})
+		for i := 0; i < b.schema.Len(); i++ {
+			col := b.schema.Col(i)
+			exprs = append(exprs, relation.PassThrough(col.Name, col.Type, i))
 			visible = append(visible, col.Name)
 		}
 	} else {
 		for _, item := range stmt.Items {
-			f, err := b.compile(item.Expr)
+			e, err := compileProjExpr(b, ctx, item.Expr, item.OutputName(), true)
 			if err != nil {
 				return nil, err
 			}
-			name := item.OutputName()
-			typ := inferType(item.Expr, in.Schema())
-			capturedErr := new(error)
-			ctx.register(capturedErr)
-			ff := f
-			exprs = append(exprs, relation.ProjExpr{Name: name, Type: typ, Eval: func(r relation.Row) relation.Value {
-				v, err := ff(r)
-				if err != nil && *capturedErr == nil {
-					*capturedErr = err
-				}
-				return v
-			}})
-			visible = append(visible, name)
+			exprs = append(exprs, e)
+			visible = append(visible, e.Name)
 		}
 	}
 
 	// Hidden sort columns: ORDER BY expressions not present among visible names.
-	type hidden struct {
-		name string
-		item OrderItem
-	}
-	var hiddens []hidden
+	var nHidden int
 	outNames := map[string]bool{}
 	for _, v := range visible {
 		outNames[strings.ToLower(v)] = true
@@ -207,29 +242,24 @@ func compileSimple(in relation.Iterator, inNode *PlanNode, stmt *SelectStmt, ctx
 			continue
 		}
 		name := fmt.Sprintf("__sort%d", i)
-		f, err := b.compile(oi.Expr)
+		e, err := compileProjExpr(b, ctx, oi.Expr, name, false)
 		if err != nil {
 			return nil, err
 		}
-		ff := f
-		exprs = append(exprs, relation.ProjExpr{Name: name, Type: inferType(oi.Expr, in.Schema()), Eval: func(r relation.Row) relation.Value {
-			v, _ := ff(r)
-			return v
-		}})
-		hiddens = append(hiddens, hidden{name: name, item: oi})
+		exprs = append(exprs, e)
+		nHidden++
 		sortKeys = append(sortKeys, relation.SortKey{Col: name, Desc: oi.Desc})
 		sortDisplay = append(sortDisplay, orderItemSQL(oi))
 	}
-	if stmt.Distinct && len(hiddens) > 0 {
+	if stmt.Distinct && nHidden > 0 {
 		return nil, fmt.Errorf("sql: ORDER BY with DISTINCT must reference selected columns")
 	}
 
-	proj, err := relation.NewProject(in, exprs)
+	it, err := project(in, exprs)
 	if err != nil {
 		return nil, err
 	}
-	var it relation.Iterator = proj
-	node := &PlanNode{Op: "Project", Detail: "[" + strings.Join(visible, ", ") + "]", Children: []*PlanNode{inNode}}
+	node := &PlanNode{Op: "Project", Detail: "[" + strings.Join(visible, ", ") + "]", Batched: in.batched(), Children: []*PlanNode{inNode}}
 	if stmt.Distinct {
 		it = relation.NewDistinct(it)
 		node = &PlanNode{Op: "Distinct", Children: []*PlanNode{node}}
@@ -245,7 +275,7 @@ func compileSimple(in relation.Iterator, inNode *PlanNode, stmt *SelectStmt, ctx
 		it = relation.NewLimit(it, stmt.Limit, stmt.Offset)
 		node = &PlanNode{Op: "Limit", Detail: limitDetail(stmt), Children: []*PlanNode{node}}
 	}
-	return &compiled{it: it, plan: node, columns: visible, hidden: len(hiddens)}, nil
+	return &compiled{it: it, plan: node, columns: visible, hidden: nHidden}, nil
 }
 
 func orderItemSQL(oi OrderItem) string {
@@ -272,9 +302,12 @@ func limitDetail(stmt *SelectStmt) string {
 
 // compileAggregate handles GROUP BY / aggregate queries by (1) pre-projecting
 // group keys and aggregate arguments, (2) hash aggregation, (3) rewriting the
-// select list, HAVING and ORDER BY to reference the aggregated schema.
-func compileAggregate(in relation.Iterator, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx) (*compiled, error) {
-	b := binder{schema: in.Schema()}
+// select list, HAVING and ORDER BY to reference the aggregated schema. On a
+// batched input, (1) and (2) run vectorized: pre-projection aliases plain
+// column references and hash aggregation reads column slices directly, so a
+// full-scan GROUP BY allocates nothing per input row.
+func compileAggregate(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx) (*compiled, error) {
+	b := binder{schema: in.schema()}
 
 	// Collect aggregate calls from select items, HAVING and ORDER BY.
 	rw := &aggRewriter{bySQL: map[string]string{}}
@@ -289,7 +322,7 @@ func compileAggregate(in relation.Iterator, inNode *PlanNode, stmt *SelectStmt, 
 	}
 
 	// Pre-projection: group keys first, then aggregate args.
-	var pre []relation.ProjExpr
+	var pre []relation.BatchProjExpr
 	groupCols := make([]string, len(stmt.GroupBy))
 	groupSQL := make(map[string]string, len(stmt.GroupBy))
 	for i, ge := range stmt.GroupBy {
@@ -297,20 +330,11 @@ func compileAggregate(in relation.Iterator, inNode *PlanNode, stmt *SelectStmt, 
 		if cr, ok := ge.(*ColumnRef); ok {
 			name = cr.Name
 		}
-		f, err := b.compile(ge)
+		e, err := compileProjExpr(b, ctx, ge, name, true)
 		if err != nil {
 			return nil, err
 		}
-		ff := f
-		capturedErr := new(error)
-		ctx.register(capturedErr)
-		pre = append(pre, relation.ProjExpr{Name: name, Type: inferType(ge, in.Schema()), Eval: func(r relation.Row) relation.Value {
-			v, err := ff(r)
-			if err != nil && *capturedErr == nil {
-				*capturedErr = err
-			}
-			return v
-		}})
+		pre = append(pre, e)
 		groupCols[i] = name
 		groupSQL[ge.SQL()] = name
 	}
@@ -342,39 +366,43 @@ func compileAggregate(in relation.Iterator, inNode *PlanNode, stmt *SelectStmt, 
 			return nil, fmt.Errorf("sql: %s expects one argument", call.Name)
 		}
 		argName := fmt.Sprintf("__arg%d", i)
-		f, err := b.compile(call.Args[0])
+		e, err := compileProjExpr(b, ctx, call.Args[0], argName, true)
 		if err != nil {
 			return nil, err
 		}
-		ff := f
-		capturedErr := new(error)
-		ctx.register(capturedErr)
-		pre = append(pre, relation.ProjExpr{Name: argName, Type: inferType(call.Args[0], in.Schema()), Eval: func(r relation.Row) relation.Value {
-			v, err := ff(r)
-			if err != nil && *capturedErr == nil {
-				*capturedErr = err
-			}
-			return v
-		}})
+		pre = append(pre, e)
 		spec.Col = argName
 		specs = append(specs, spec)
 	}
 
-	proj, err := relation.NewProject(in, pre)
-	if err != nil {
-		return nil, err
+	var grouped relation.Iterator
+	if in.batched() {
+		proj, err := relation.NewBatchProject(in.batch, pre)
+		if err != nil {
+			return nil, err
+		}
+		grouped, err = relation.NewBatchGroup(proj, groupCols, specs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		proj, err := relation.NewProject(in.rows, relation.RowProjExprs(pre))
+		if err != nil {
+			return nil, err
+		}
+		grouped, err = relation.NewGroup(proj, groupCols, specs)
+		if err != nil {
+			return nil, err
+		}
 	}
-	grouped, err := relation.NewGroup(proj, groupCols, specs)
-	if err != nil {
-		return nil, err
-	}
-	node := &PlanNode{Op: "Aggregate", Detail: aggDetail(groupCols, rw.calls), Children: []*PlanNode{inNode}}
+	node := &PlanNode{Op: "Aggregate", Detail: aggDetail(groupCols, rw.calls), Batched: in.batched(), Children: []*PlanNode{inNode}}
 
 	// Post-aggregation binder over the grouped schema.
 	gb := binder{schema: grouped.Schema()}
-	var out relation.Iterator = grouped
+	out := grouped
 	if stmt.Having != nil {
 		hexpr := rw.rewrite(stmt.Having, groupSQL)
+		var err error
 		out, err = applyFilter(ctx, out, hexpr)
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ package sqlparse
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"flordb/internal/relation"
@@ -19,6 +20,7 @@ import (
 type PlanNode struct {
 	Op       string // Scan, IndexLookup, IndexRange, Filter, HashJoin, ...
 	Detail   string
+	Batched  bool // operator executes batch-at-a-time (vectorized)
 	Children []*PlanNode
 }
 
@@ -33,6 +35,9 @@ func (n *PlanNode) render(out *[]string, depth int) {
 	line := strings.Repeat("  ", depth) + n.Op
 	if n.Detail != "" {
 		line += " " + n.Detail
+	}
+	if n.Batched {
+		line += " batched=true"
 	}
 	*out = append(*out, line)
 	for _, c := range n.Children {
@@ -61,6 +66,54 @@ func (c *execCtx) firstErr() error {
 		}
 	}
 	return nil
+}
+
+// pipe is one planned stream flowing between operators, in one of the two
+// execution modes: vectorized (batch set) or row-at-a-time (rows set).
+// Exactly one field is non-nil. The executor keeps a stream batched as long
+// as every operator on it has a vectorized form and converts to rows at the
+// first operator that doesn't (sort, distinct, limit, post-aggregation).
+type pipe struct {
+	batch relation.BatchIterator
+	rows  relation.Iterator
+}
+
+func (p pipe) batched() bool { return p.batch != nil }
+
+func (p pipe) schema() *relation.Schema {
+	if p.batch != nil {
+		return p.batch.Schema()
+	}
+	return p.rows.Schema()
+}
+
+// iterator converts the stream to row-at-a-time form (a no-op when it
+// already is).
+func (p pipe) iterator() relation.Iterator {
+	if p.batch != nil {
+		return relation.NewRowsFromBatches(p.batch)
+	}
+	return p.rows
+}
+
+// applyFilterPipe filters the stream in its native mode: a vectorized
+// predicate over batches, or the row predicate otherwise.
+func applyFilterPipe(ctx *execCtx, in pipe, pred Expr) (pipe, error) {
+	if in.batched() {
+		b := binder{schema: in.schema()}
+		evalErr := new(error)
+		ctx.register(evalErr)
+		f, err := b.compileBatchPredicate(pred, evalErr)
+		if err != nil {
+			return pipe{}, err
+		}
+		return pipe{batch: relation.NewBatchFilter(in.batch, f)}, nil
+	}
+	it, err := applyFilter(ctx, in.rows, pred)
+	if err != nil {
+		return pipe{}, err
+	}
+	return pipe{rows: it}, nil
 }
 
 // applyFilter wraps in with a predicate compiled from pred; evaluation errors
@@ -98,7 +151,7 @@ func applyFilter(ctx *execCtx, in relation.Iterator, pred Expr) (relation.Iterat
 // no pushdown and no index access-path selection (the pre-planner behavior:
 // full scans joined, WHERE filtered on top) — the reference implementation
 // the planner is property-tested against and benchmarked as the baseline.
-func planInput(cat relation.Catalog, stmt *SelectStmt, ctx *execCtx, naive bool) (relation.Iterator, *PlanNode, error) {
+func planInput(cat relation.Catalog, stmt *SelectStmt, ctx *execCtx, naive bool) (pipe, *PlanNode, error) {
 	sources := make([]TableRef, 0, 1+len(stmt.Joins))
 	sources = append(sources, stmt.From)
 	for _, j := range stmt.Joins {
@@ -112,7 +165,7 @@ func planInput(cat relation.Catalog, stmt *SelectStmt, ctx *execCtx, naive bool)
 	for i, ref := range sources {
 		s, err := cat.SchemaOf(ref.Name)
 		if err != nil {
-			return nil, nil, err
+			return pipe{}, nil, err
 		}
 		schemas[i] = s
 	}
@@ -125,7 +178,7 @@ func planInput(cat relation.Catalog, stmt *SelectStmt, ctx *execCtx, naive bool)
 		var err error
 		combined, err = relation.Concat(combined, schemas[k], sources[k].Binding())
 		if err != nil {
-			return nil, nil, err
+			return pipe{}, nil, err
 		}
 		for i := 0; i < schemas[k].Len(); i++ {
 			owner = append(owner, k)
@@ -152,30 +205,37 @@ func planInput(cat relation.Catalog, stmt *SelectStmt, ctx *execCtx, naive bool)
 		}
 	}
 
-	it, node, est, err := planSource(cat, sources[0], pushed[0], ctx, naive)
+	// Column pruning for the single-table case: a batch scan materializes
+	// only the columns the statement touches.
+	var needed []int
+	if !naive && len(stmt.Joins) == 0 {
+		needed = scanColumns(stmt, schemas[0])
+	}
+
+	it, node, est, err := planSource(cat, sources[0], pushed[0], ctx, naive, needed)
 	if err != nil {
-		return nil, nil, err
+		return pipe{}, nil, err
 	}
 
 	for k, j := range stmt.Joins {
-		right, rightNode, rightEst, err := planSource(cat, sources[k+1], pushed[k+1], ctx, naive)
+		right, rightNode, rightEst, err := planSource(cat, sources[k+1], pushed[k+1], ctx, naive, nil)
 		if err != nil {
-			return nil, nil, err
+			return pipe{}, nil, err
 		}
-		leftCols, rightCols, residual, err := splitJoinOn(j.On, it.Schema(), right.Schema(), j.Table.Binding())
+		leftCols, rightCols, residual, err := splitJoinOn(j.On, it.schema(), right.schema(), j.Table.Binding())
 		if err != nil {
-			return nil, nil, err
+			return pipe{}, nil, err
 		}
 		// Build on the smaller estimated input; unknown (-1) loses to known.
 		buildLeft := !naive && est >= 0 && (rightEst < 0 || est < rightEst)
-		joined, err := relation.NewHashJoinBuildSide(it, right, leftCols, rightCols, j.Table.Binding(), buildLeft)
+		it, err = planJoin(it, right, leftCols, rightCols, j.Table.Binding(), buildLeft)
 		if err != nil {
-			return nil, nil, err
+			return pipe{}, nil, err
 		}
-		it = joined
 		node = &PlanNode{
 			Op:       "HashJoin",
 			Detail:   joinDetail(leftCols, rightCols, buildLeft),
+			Batched:  it.batched(),
 			Children: []*PlanNode{node, rightNode},
 		}
 		if est < 0 || rightEst < 0 {
@@ -184,24 +244,124 @@ func planInput(cat relation.Catalog, stmt *SelectStmt, ctx *execCtx, naive bool)
 			est = rightEst
 		}
 		if residual != nil {
-			it, err = applyFilter(ctx, it, residual)
+			it, err = applyFilterPipe(ctx, it, residual)
 			if err != nil {
-				return nil, nil, err
+				return pipe{}, nil, err
 			}
-			node = &PlanNode{Op: "Filter", Detail: residual.SQL(), Children: []*PlanNode{node}}
+			node = &PlanNode{Op: "Filter", Detail: residual.SQL(), Batched: it.batched(), Children: []*PlanNode{node}}
 		}
 	}
 
 	if len(retained) > 0 {
 		pred := combineAnd(retained)
 		var err error
-		it, err = applyFilter(ctx, it, pred)
+		it, err = applyFilterPipe(ctx, it, pred)
 		if err != nil {
-			return nil, nil, err
+			return pipe{}, nil, err
 		}
-		node = &PlanNode{Op: "Filter", Detail: pred.SQL(), Children: []*PlanNode{node}}
+		node = &PlanNode{Op: "Filter", Detail: pred.SQL(), Batched: it.batched(), Children: []*PlanNode{node}}
 	}
 	return it, node, nil
+}
+
+// planJoin wires one hash join. When the probe side (the non-build side) is
+// a batched stream, probing stays vectorized: the build side is drained
+// into the hash table either way, so only the probe side's mode matters.
+// Output columns are left-then-right in both modes.
+func planJoin(left, right pipe, leftCols, rightCols []string, rightBinding string, buildLeft bool) (pipe, error) {
+	probe, build := left, right
+	probeCols, buildCols := leftCols, rightCols
+	if buildLeft {
+		probe, build = right, left
+		probeCols, buildCols = rightCols, leftCols
+	}
+	if probe.batched() {
+		probePos, err := resolveAll(probe.schema(), probeCols)
+		if err != nil {
+			return pipe{}, err
+		}
+		buildPos, err := resolveAll(build.schema(), buildCols)
+		if err != nil {
+			return pipe{}, err
+		}
+		schema, err := relation.Concat(left.schema(), right.schema(), rightBinding)
+		if err != nil {
+			return pipe{}, err
+		}
+		j, err := relation.NewBatchHashJoin(probe.batch, build.iterator(), probePos, buildPos, schema, buildLeft)
+		if err != nil {
+			return pipe{}, err
+		}
+		return pipe{batch: j}, nil
+	}
+	j, err := relation.NewHashJoinBuildSide(left.iterator(), right.iterator(), leftCols, rightCols, rightBinding, buildLeft)
+	if err != nil {
+		return pipe{}, err
+	}
+	return pipe{rows: j}, nil
+}
+
+func resolveAll(s *relation.Schema, cols []string) ([]int, error) {
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		p := s.Index(c)
+		if p < 0 {
+			return nil, fmt.Errorf("sql: join: no column %q", c)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// scanColumns lists the schema positions a single-table statement touches,
+// for batch-scan column pruning. nil means materialize everything: SELECT *
+// (empty item list) or a reference that doesn't resolve against the table
+// (ORDER BY on an output alias, or a genuinely unknown column the later
+// compile will report). A statement that touches no columns at all — e.g.
+// SELECT count(*) with no WHERE — returns an empty non-nil slice: the scan
+// materializes nothing and only computes the visibility selection.
+func scanColumns(stmt *SelectStmt, schema *relation.Schema) []int {
+	if len(stmt.Items) == 0 {
+		return nil
+	}
+	b := binder{schema: schema}
+	seen := make(map[int]bool)
+	out := []int{}
+	bad := false
+	add := func(ref *ColumnRef) {
+		if bad {
+			return
+		}
+		pos, err := b.resolve(ref)
+		if err != nil {
+			bad = true
+			return
+		}
+		if !seen[pos] {
+			seen[pos] = true
+			out = append(out, pos)
+		}
+	}
+	for _, item := range stmt.Items {
+		walkColumnRefs(item.Expr, add)
+	}
+	if stmt.Where != nil {
+		walkColumnRefs(stmt.Where, add)
+	}
+	for _, g := range stmt.GroupBy {
+		walkColumnRefs(g, add)
+	}
+	if stmt.Having != nil {
+		walkColumnRefs(stmt.Having, add)
+	}
+	for _, oi := range stmt.OrderBy {
+		walkColumnRefs(oi.Expr, add)
+	}
+	if bad {
+		return nil
+	}
+	sort.Ints(out)
+	return out
 }
 
 func joinDetail(leftCols, rightCols []string, buildLeft bool) string {
@@ -285,15 +445,16 @@ func combineAnd(exprs []Expr) Expr {
 }
 
 // planSource plans one FROM/JOIN source given the conjuncts pushed to it.
-// It returns the iterator, its plan subtree, and an estimated row count
-// (-1 = unknown) used to pick hash-join build sides.
-func planSource(cat relation.Catalog, ref TableRef, conjs []Expr, ctx *execCtx, naive bool) (relation.Iterator, *PlanNode, int64, error) {
+// It returns the stream, its plan subtree, and an estimated row count
+// (-1 = unknown) used to pick hash-join build sides. needed restricts which
+// columns a batch scan materializes (nil = all).
+func planSource(cat relation.Catalog, ref TableRef, conjs []Expr, ctx *execCtx, naive bool, needed []int) (pipe, *PlanNode, int64, error) {
 	if t, ok := cat.Reader(ref.Name); ok && !naive {
-		return planTableAccess(t, ref, conjs, ctx)
+		return planTableAccess(t, ref, conjs, ctx, needed)
 	}
 	it, err := cat.Source(ref.Name)
 	if err != nil {
-		return nil, nil, 0, err
+		return pipe{}, nil, 0, err
 	}
 	est := int64(-1)
 	op := "Scan"
@@ -303,15 +464,16 @@ func planSource(cat relation.Catalog, ref TableRef, conjs []Expr, ctx *execCtx, 
 		op = "VirtualScan"
 	}
 	node := &PlanNode{Op: op, Detail: sourceDetail(ref, est)}
+	p := pipe{rows: it}
 	if len(conjs) > 0 {
 		pred := combineAnd(conjs)
-		it, err = applyFilter(ctx, it, pred)
+		p, err = applyFilterPipe(ctx, p, pred)
 		if err != nil {
-			return nil, nil, 0, err
+			return pipe{}, nil, 0, err
 		}
 		node = &PlanNode{Op: "Filter", Detail: pred.SQL(), Children: []*PlanNode{node}}
 	}
-	return it, node, est, nil
+	return p, node, est, nil
 }
 
 func sourceDetail(ref TableRef, est int64) string {
@@ -339,8 +501,10 @@ type sargable struct {
 // hash-index lookup > ordered-index range > full scan. Unconsumed conjuncts
 // become a residual filter over the narrowed stream. The reader may be a
 // live table or a pinned snapshot; access paths resolve rows through its
-// visibility filter either way.
-func planTableAccess(t relation.TableReader, ref TableRef, conjs []Expr, ctx *execCtx) (relation.Iterator, *PlanNode, int64, error) {
+// visibility filter either way. Index paths produce (small) row streams;
+// the full-scan fallback produces a batched stream — scanning the whole
+// table is exactly when vectorization pays.
+func planTableAccess(t relation.TableReader, ref TableRef, conjs []Expr, ctx *execCtx, needed []int) (pipe, *PlanNode, int64, error) {
 	binding := ref.Binding()
 	schema := t.Schema()
 
@@ -368,33 +532,34 @@ func planTableAccess(t relation.TableReader, ref TableRef, conjs []Expr, ctx *ex
 	}
 
 	var (
-		it       relation.Iterator
+		p        pipe
 		node     *PlanNode
 		est      int64
 		consumed map[int]bool
-		err      error
 	)
 
 	if cols, keys, used := chooseHashIndex(t, eqs); cols != nil {
-		it, err = relation.NewIndexLookup(t, cols, keys)
+		it, err := relation.NewIndexLookup(t, cols, keys)
 		if err != nil {
-			return nil, nil, 0, err
+			return pipe{}, nil, 0, err
 		}
+		p = pipe{rows: it}
 		node = &PlanNode{Op: "IndexLookup", Detail: lookupDetail(ref, cols, keys)}
 		est = int64(len(keys))
 		consumed = used
 	} else if col, lo, hi, loIncl, hiIncl, used := chooseOrderedIndex(t, ranges); col != "" {
-		it, err = relation.NewIndexRange(t, col, lo, hi, loIncl, hiIncl)
+		it, err := relation.NewIndexRange(t, col, lo, hi, loIncl, hiIncl)
 		if err != nil {
-			return nil, nil, 0, err
+			return pipe{}, nil, 0, err
 		}
+		p = pipe{rows: it}
 		node = &PlanNode{Op: "IndexRange", Detail: rangeDetail(ref, col, lo, hi, loIncl, hiIncl)}
 		est = int64(t.Len())/4 + 1
 		consumed = used
 	} else {
-		it = relation.NewScan(t)
+		p = pipe{batch: relation.NewBatchScan(t, needed, relation.DefaultBatchSize)}
 		est = int64(t.Len())
-		node = &PlanNode{Op: "Scan", Detail: sourceDetail(ref, est)}
+		node = &PlanNode{Op: "Scan", Detail: sourceDetail(ref, est), Batched: true}
 	}
 
 	var residual []Expr
@@ -405,13 +570,14 @@ func planTableAccess(t relation.TableReader, ref TableRef, conjs []Expr, ctx *ex
 	}
 	if len(residual) > 0 {
 		pred := combineAnd(residual)
-		it, err = applyFilter(ctx, it, pred)
+		var err error
+		p, err = applyFilterPipe(ctx, p, pred)
 		if err != nil {
-			return nil, nil, 0, err
+			return pipe{}, nil, 0, err
 		}
-		node = &PlanNode{Op: "Filter", Detail: pred.SQL(), Children: []*PlanNode{node}}
+		node = &PlanNode{Op: "Filter", Detail: pred.SQL(), Batched: p.batched(), Children: []*PlanNode{node}}
 	}
-	return it, node, est, nil
+	return p, node, est, nil
 }
 
 // chooseHashIndex returns the widest hash index whose every column is bound

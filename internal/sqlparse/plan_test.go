@@ -231,6 +231,14 @@ func TestPlannerEquivalenceRandomized(t *testing.T) {
 // keys and tombstoned rows — the shapes the access paths must agree on.
 func randomWorkloadDB(t *testing.T) *relation.Database {
 	t.Helper()
+	return randomWorkloadDBOpts(t, true)
+}
+
+// randomWorkloadDBOpts is randomWorkloadDB with index creation optional:
+// without indexes every planned query takes the vectorized batch-scan path,
+// which is what the per-operator batch-vs-row equivalence tests exercise.
+func randomWorkloadDBOpts(t *testing.T, indexed bool) *relation.Database {
+	t.Helper()
 	db := relation.NewDatabase()
 	logs, err := db.CreateTable("logs", relation.MustSchema(
 		relation.Column{Name: "projid", Type: relation.TText},
@@ -241,11 +249,13 @@ func randomWorkloadDB(t *testing.T) *relation.Database {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := logs.CreateHashIndex("projid", "value_name"); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := logs.CreateOrderedIndex("tstamp"); err != nil {
-		t.Fatal(err)
+	if indexed {
+		if _, err := logs.CreateHashIndex("projid", "value_name"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := logs.CreateOrderedIndex("tstamp"); err != nil {
+			t.Fatal(err)
+		}
 	}
 	rng := rand.New(rand.NewSource(7))
 	projids := []string{"p1", "p2", "p3"}
@@ -283,8 +293,10 @@ func randomWorkloadDB(t *testing.T) *relation.Database {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runs.CreateOrderedIndex("tstamp"); err != nil {
-		t.Fatal(err)
+	if indexed {
+		if _, err := runs.CreateOrderedIndex("tstamp"); err != nil {
+			t.Fatal(err)
+		}
 	}
 	for i := 0; i < 50; i++ {
 		if _, err := runs.Insert(relation.Row{
