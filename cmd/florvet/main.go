@@ -1,0 +1,26 @@
+// Command florvet is FlorDB's custom static-analysis suite packaged as
+// a `go vet -vettool` binary. It enforces the engine's MVCC, WAL, and
+// snapshot invariants (DESIGN §10) on every package:
+//
+//	go build -o bin/florvet ./cmd/florvet
+//	go vet -vettool=$(pwd)/bin/florvet ./...
+//
+// or simply `make vet-custom`. Analyzer flags pass through go vet, e.g.
+// -lockfsync.exclude=flordb/internal/storage suppresses one analyzer
+// for a package subtree; per-site suppression uses //florvet:ignore
+// comments (see internal/lint/lintutil).
+//
+// The binary speaks the unitchecker protocol, so `go vet` invokes it
+// once per package with full type information and build caching —
+// identical to how the standard vet analyzers run.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"flordb/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

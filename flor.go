@@ -588,6 +588,7 @@ func (s *Session) makeView(pin func(*relation.Database) *relation.Snapshot) (*Sn
 	snap := pin(s.db)
 	view, err := s.tables.At(snap)
 	if err != nil {
+		snap.Release()
 		return nil, err
 	}
 	return &SnapshotView{sess: s, snap: snap, view: view}, nil
@@ -595,6 +596,20 @@ func (s *Session) makeView(pin func(*relation.Database) *relation.Snapshot) (*Sn
 
 // Epoch returns the committed epoch the view is pinned at.
 func (v *SnapshotView) Epoch() int64 { return v.snap.Epoch() }
+
+// Close releases the view's snapshot pin (it implements io.Closer and
+// always returns nil). Closing is idempotent and nil-safe, and the
+// view's data stays readable afterwards — the pin only feeds retention
+// accounting (the /healthz snapshot_pins gauge, and the epoch-retention
+// GC's notion of which epochs are still covered). Every code path that
+// pins a view must Close it; the snapshotrelease analyzer enforces this
+// at build time.
+func (v *SnapshotView) Close() error {
+	if v != nil {
+		v.snap.Release()
+	}
+	return nil
+}
 
 // SQL runs a SQL query against the pinned state. Repeated query texts hit
 // the session's LRU plan cache.
@@ -631,6 +646,7 @@ func (s *Session) Dataframe(names ...string) (*Dataframe, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer v.Close()
 	return v.Dataframe(names...)
 }
 
@@ -640,6 +656,7 @@ func (s *Session) DataframeAt(filename string, tstamp int64, names ...string) (*
 	if err != nil {
 		return nil, err
 	}
+	defer v.Close()
 	return v.DataframeAt(filename, tstamp, names...)
 }
 
@@ -654,6 +671,7 @@ func (s *Session) SQL(query string) (*sqlparse.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer v.Close()
 	return v.SQL(query)
 }
 
@@ -665,6 +683,7 @@ func (s *Session) Explain(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	defer v.Close()
 	return v.Explain(query)
 }
 
@@ -822,16 +841,18 @@ func (s *Session) Hindsight(filename, newSrc string, targets []int) ([]Hindsight
 	tailWasCommitted := s.wal != nil && s.wal.TailCommitted()
 	reports, err := d.Hindsight(filename, newSrc, versions, targets)
 	if err == nil && s.wal != nil && tailWasCommitted {
-		s.mu.Lock()
 		// Tstamp s.tstamp-1 keeps the recovered version counter equal to the
-		// live one (commit markers do not open a new version).
+		// live one (commit markers do not open a new version). s.mu only
+		// guards the tstamp read: the fsync inside AppendCommit happens
+		// after the unlock, per the group-commit ordering rule (DESIGN §8)
+		// that lockfsync enforces.
+		s.mu.Lock()
 		mark := &record.CommitRecord{
 			Kind: record.KindCommit, ProjID: s.ProjID,
 			Tstamp: s.tstamp - 1, Wall: time.Now().UTC(),
 		}
-		werr := s.wal.AppendCommit(mark)
 		s.mu.Unlock()
-		if werr != nil {
+		if werr := s.wal.AppendCommit(mark); werr != nil {
 			return reports, werr
 		}
 		// The marker is a commit boundary: publish the backfilled rows to

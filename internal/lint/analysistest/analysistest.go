@@ -1,0 +1,235 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, with the
+// same testdata layout and expectation syntax as
+// golang.org/x/tools/go/analysis/analysistest. That package is not
+// part of the x/tools subset the Go toolchain vendors (the only copy
+// available offline), so this is a from-scratch reimplementation of
+// the contract on top of go/parser + go/types + the source importer:
+//
+//	testdata/src/<pkg>/*.go   — fixture files, std-library imports only
+//	x := f()                  // want `regexp matching the message`
+//
+// Each want expectation must be matched by exactly one diagnostic on
+// its line, every diagnostic must match a want, and the analyzer's
+// Requires closure (inspect, ctrlflow, ...) is executed first in
+// dependency order, exactly as a real driver would.
+//
+// Limitations versus upstream: no suggested-fix checking, no
+// cross-package facts (the florvet suite uses neither), and fixture
+// packages import only the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller for TestData")
+	}
+	dir, err := filepath.Abs(filepath.Join(filepath.Dir(file), "testdata"))
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run analyzes each fixture package under dir/src and reports
+// mismatches between diagnostics and want expectations on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPkg(t, filepath.Join(dir, "src", pkg), pkg, a)
+	}
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	file    string
+	line    int
+	matched bool
+}
+
+func runPkg(t *testing.T, pkgDir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pkgDir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no fixture files in %s", pkgPath, pkgDir)
+	}
+
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {}, // fixtures may hold deliberate oddities; collect what typechecks
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: typecheck: %v", pkgPath, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	var diags []analysis.Diagnostic
+	pass := basePass(fset, files, pkg, info)
+	pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if _, err := runWithRequires(pass, a); err != nil {
+		t.Fatalf("%s: %s: %v", pkgPath, a.Name, err)
+	}
+
+	// Match diagnostics against expectations by (file, line).
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// wantRE extracts quoted or backquoted expectation patterns after
+// "want", e.g. `// want "released" "second"` or // want `regexp`.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{rx: rx, file: pos.Filename, line: pos.Line})
+				}
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+func basePass(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *analysis.Pass {
+	return &analysis.Pass{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:   make(map[*analysis.Analyzer]any),
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return false
+		},
+		ExportObjectFact:  func(obj types.Object, fact analysis.Fact) {},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool { return false },
+		ExportPackageFact: func(fact analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+}
+
+// runWithRequires executes a's Requires closure in dependency order,
+// then a itself, sharing one pass skeleton with per-analyzer Report
+// and ResultOf wiring.
+func runWithRequires(root *analysis.Pass, a *analysis.Analyzer) (any, error) {
+	done := make(map[*analysis.Analyzer]bool)
+	var exec func(an *analysis.Analyzer) error
+	exec = func(an *analysis.Analyzer) error {
+		if done[an] {
+			return nil
+		}
+		for _, req := range an.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		p := *root
+		p.Analyzer = an
+		if an != a {
+			p.Report = func(analysis.Diagnostic) {} // dependencies stay silent
+		}
+		res, err := an.Run(&p)
+		if err != nil {
+			return fmt.Errorf("analyzer %s: %w", an.Name, err)
+		}
+		root.ResultOf[an] = res
+		done[an] = true
+		return nil
+	}
+	if err := exec(a); err != nil {
+		return nil, err
+	}
+	return root.ResultOf[a], nil
+}

@@ -1,0 +1,169 @@
+// Package atomicfield defines an Analyzer that enforces all-or-nothing
+// atomicity on struct fields: once any code in a package accesses a
+// field through sync/atomic (atomic.LoadInt64(&x.f), atomic.AddInt64,
+// ...), every other read or write of that field must also go through
+// sync/atomic. A plain load next to atomic stores is exactly the data
+// race the PR 3 replay.Context.Tstamp fix closed — the race detector
+// only catches it when a test happens to interleave the two, while the
+// mixed access pattern is visible statically every time.
+//
+// Three access shapes are deliberately not flagged:
+//
+//   - &x.f passed to a sync/atomic function — that IS the atomic access;
+//   - composite-literal initialization (Context{Tstamp: ts}) — the
+//     struct is unpublished while it is being built;
+//   - &x.f taken outside an atomic call — the pointer may feed atomic
+//     accesses elsewhere (the Recorder hands &ctxCounter to Replayers
+//     that atomic.Add through it); pointer flow is out of scope.
+//
+// The analysis is package-local: fields atomically accessed only from
+// another package are not seen. FlorDB keeps each atomic field and its
+// accessors in one package, so this bounds cost without losing sites.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"flordb/internal/lint/lintutil"
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+const doc = "report plain reads/writes of struct fields that are accessed via sync/atomic elsewhere"
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicfield",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() { lintutil.AddExcludeFlag(Analyzer) }
+
+func run(pass *analysis.Pass) (any, error) {
+	if lintutil.Excluded(pass) {
+		return nil, nil
+	}
+	rep := lintutil.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: find fields accessed through sync/atomic. (The &x.f operand
+	// of the atomic call itself is invisible to pass 2, which skips every
+	// address-taking of the field.)
+	atomicFields := make(map[*types.Var]token.Pos) // field -> one atomic site (for the message)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isAtomicFn(pass.TypesInfo, call) || len(call.Args) == 0 {
+			return
+		}
+		addr, ok := call.Args[0].(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return
+		}
+		sel, ok := addr.X.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		field := fieldOf(pass.TypesInfo, sel)
+		if field == nil {
+			return
+		}
+		if _, seen := atomicFields[field]; !seen {
+			atomicFields[field] = call.Pos()
+		}
+	})
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: every other selection of those fields must not be a plain
+	// read or write.
+	ins.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		sel := n.(*ast.SelectorExpr)
+		field := fieldOf(pass.TypesInfo, sel)
+		if field == nil {
+			return true
+		}
+		atomicAt, isAtomic := atomicFields[field]
+		if !isAtomic {
+			return true
+		}
+		parent := stack[len(stack)-2]
+		// Skip every address-taking: &x.f inside an atomic call is the
+		// atomic access itself, and &x.f elsewhere is pointer sharing
+		// whose downstream accesses this analyzer cannot track.
+		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			return true
+		}
+		kind := "read"
+		if isWrite(parent, sel) {
+			kind = "write"
+		}
+		at := pass.Fset.Position(atomicAt)
+		rep.Reportf(sel.Pos(), "plain %s of field %s, which is accessed atomically at %s:%d; use sync/atomic consistently",
+			kind, field.Name(), shortFile(at.Filename), at.Line)
+		return true
+	})
+	return nil, nil
+}
+
+// isAtomicFn reports whether call invokes a pointer-taking sync/atomic
+// package function (LoadInt64, StoreInt64, AddInt64, SwapInt64,
+// CompareAndSwap*, ...).
+func isAtomicFn(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isWrite reports whether the selector is the target of an assignment
+// or inc/dec statement.
+func isWrite(parent ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == sel {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == sel
+	}
+	return false
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,49 @@
+// Fixture for the atomicfield analyzer: once a field is accessed via
+// sync/atomic anywhere in the package, every plain read/write of it is
+// a diagnosed data race. Mirrors the replay.Context.Tstamp shape: the
+// accessor pair TstampNow/SetTstamp is the sanctioned idiom.
+package a
+
+import "sync/atomic"
+
+// Context mirrors internal/replay.Context.
+type Context struct {
+	Tstamp int64
+	other  int64
+}
+
+// TstampNow and SetTstamp are the atomic accessor pair: the &c.Tstamp
+// operand of the atomic call is the atomic access itself, never flagged.
+func (c *Context) TstampNow() int64   { return atomic.LoadInt64(&c.Tstamp) }
+func (c *Context) SetTstamp(ts int64) { atomic.StoreInt64(&c.Tstamp, ts) }
+func (c *Context) BumpTstamp() int64  { return atomic.AddInt64(&c.Tstamp, 1) }
+
+func plainRead(c *Context) int64 {
+	return c.Tstamp // want `plain read of field Tstamp, which is accessed atomically`
+}
+
+func plainWrite(c *Context) {
+	c.Tstamp = 9 // want `plain write of field Tstamp, which is accessed atomically`
+}
+
+func plainIncrement(c *Context) {
+	c.Tstamp++ // want `plain write of field Tstamp, which is accessed atomically`
+}
+
+// construct initializes the field in a composite literal: the struct is
+// unpublished while being built, so this is not a racy access.
+func construct(ts int64) *Context {
+	return &Context{Tstamp: ts, other: 0}
+}
+
+// share takes the field's address outside an atomic call — the pointer
+// may feed atomic accesses elsewhere (the recorder hands &ctxCounter to
+// replayers that atomic.Add through it); pointer flow is out of scope.
+func share(c *Context) *int64 {
+	return &c.Tstamp
+}
+
+// otherField is never accessed atomically, so plain access is fine.
+func otherField(c *Context) int64 {
+	return c.other
+}

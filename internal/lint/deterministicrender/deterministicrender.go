@@ -1,0 +1,134 @@
+// Package deterministicrender defines an Analyzer that keeps rendered
+// output — EXPLAIN plan text, web UI pages, CSV/JSON streams — stable
+// across runs: a `range` over a map whose body writes directly to a
+// textual sink iterates in randomized order, so the same plan or the
+// same query result renders differently on every execution. Plan-cache
+// keys, EXPLAIN-based tests, and diffable CI artifacts all depend on
+// byte-stable rendering.
+//
+// A diagnostic fires when a range statement iterates a map value and
+// its body (excluding nested function literals) calls a textual sink:
+//
+//   - fmt.Fprint / Fprintf / Fprintln,
+//   - io.WriteString,
+//   - any method named Write, WriteString, WriteByte, WriteRune
+//     (strings.Builder, bytes.Buffer, bufio.Writer, http.ResponseWriter),
+//   - any method named Encode (streaming JSON encoders).
+//
+// The correct idiom — collect keys, sort, range over the sorted slice —
+// is untouched: appending to a slice inside the map range is not a
+// sink, and the second loop ranges a slice. encoding/json's Marshal of
+// a whole map is also fine (it sorts keys itself).
+package deterministicrender
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flordb/internal/lint/lintutil"
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+const doc = "report range-over-map loops that write directly to rendered output"
+
+// Analyzer is the deterministicrender analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "deterministicrender",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() { lintutil.AddExcludeFlag(Analyzer) }
+
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+var fmtSinks = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if lintutil.Excluded(pass) {
+		return nil, nil
+	}
+	rep := lintutil.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rng := n.(*ast.RangeStmt)
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		if sink := findSink(pass.TypesInfo, rng.Body); sink != nil {
+			rep.Reportf(rng.Pos(),
+				"map iterated in randomized order feeds rendered output via %s; collect the keys, sort, and range the slice so the output is byte-stable",
+				callDesc(sink))
+		}
+	})
+	return nil, nil
+}
+
+// findSink returns the first textual-sink call in the loop body, not
+// descending into nested function literals or nested range statements
+// (a nested range gets its own diagnostic if it offends).
+func findSink(info *types.Info, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isSink(info, call) {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSink(info *types.Info, call *ast.CallExpr) bool {
+	for name := range fmtSinks {
+		if lintutil.IsPkgCall(info, call, "fmt", name) {
+			return true
+		}
+	}
+	if lintutil.IsPkgCall(info, call, "io", "WriteString") {
+		return true
+	}
+	name := lintutil.MethodName(call)
+	if !sinkMethods[name] {
+		return false
+	}
+	// Methods only: a package-level Write would be a selector too, so
+	// require a method receiver (non-package selector base).
+	sel := call.Fun.(*ast.SelectorExpr)
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return false
+		}
+	}
+	return true
+}
+
+func callDesc(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel)
+	}
+	return "a write"
+}

@@ -1,0 +1,12 @@
+package deterministicrender_test
+
+import (
+	"testing"
+
+	"flordb/internal/lint/analysistest"
+	"flordb/internal/lint/deterministicrender"
+)
+
+func TestDeterministicRender(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), deterministicrender.Analyzer, "a")
+}

@@ -1,0 +1,74 @@
+// Fixture for the deterministicrender analyzer: a range over a map
+// whose body writes to a textual sink renders in randomized order. The
+// clean idiom is collect keys, sort, range the slice.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func badFprintf(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iterated in randomized order feeds rendered output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iterated in randomized order feeds rendered output`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func badWriteString(w io.Writer, m map[string]bool) {
+	for k := range m { // want `map iterated in randomized order feeds rendered output`
+		io.WriteString(w, k)
+	}
+}
+
+func badEncoder(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k, v := range m { // want `map iterated in randomized order feeds rendered output`
+		enc.Encode(map[string]int{k: v})
+	}
+}
+
+// goodSorted is the EXPLAIN renderer idiom: append (not a sink) inside
+// the map range, sort, then render from the slice.
+func goodSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// goodAggregate renders nothing inside the loop; order cannot show.
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodMarshalWholeMap: encoding/json sorts map keys itself, and the
+// range here is over a slice of row IDs, not a map.
+func goodMarshalWholeMap(w io.Writer, rows []int, m map[string]int) error {
+	for range rows {
+		if err := json.NewEncoder(w).Encode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package epochorder_test
+
+import (
+	"testing"
+
+	"flordb/internal/lint/analysistest"
+	"flordb/internal/lint/epochorder"
+)
+
+func TestEpochOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), epochorder.Analyzer, "a")
+}

@@ -1,0 +1,74 @@
+// Fixture for the epochorder analyzer: within one function, the epoch
+// advance that publishes a commit must come after WAL.AppendCommit —
+// fsync first, publish second (DESIGN §8).
+package a
+
+type DB struct{}
+
+func (d *DB) AdvanceEpoch() int64 { return 0 }
+
+type WAL struct{}
+
+func (w *WAL) AppendCommit(rec any) error { return nil }
+
+type sess struct {
+	db  *DB
+	wal *WAL
+}
+
+// goodCommit is the Session.Commit shape: durability point first, then
+// the publish.
+func goodCommit(s *sess) error {
+	if err := s.wal.AppendCommit(nil); err != nil {
+		return err
+	}
+	s.db.AdvanceEpoch()
+	return nil
+}
+
+func badStraightLine(s *sess) error {
+	s.db.AdvanceEpoch() // want `AdvanceEpoch may run before this function's WAL.AppendCommit`
+	return s.wal.AppendCommit(nil)
+}
+
+func badBranch(s *sess, c bool) error {
+	s.db.AdvanceEpoch() // want `AdvanceEpoch may run before this function's WAL.AppendCommit`
+	if c {
+		return nil
+	}
+	return s.wal.AppendCommit(nil)
+}
+
+func badPerIteration(s *sess, n int) error {
+	for i := 0; i < n; i++ {
+		s.db.AdvanceEpoch() // want `AdvanceEpoch may run before this function's WAL.AppendCommit`
+		if err := s.wal.AppendCommit(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goodLoop commits then advances each iteration. The AppendCommit
+// reachable through the loop back edge belongs to the NEXT transaction;
+// ordering across transactions is not constrained.
+func goodLoop(s *sess, n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.wal.AppendCommit(nil); err != nil {
+			return err
+		}
+		s.db.AdvanceEpoch()
+	}
+	return nil
+}
+
+// advanceOnly has no commit to order against — recovery publishing
+// recovered rows does exactly this — so it is not constrained.
+func advanceOnly(d *DB) int64 {
+	return d.AdvanceEpoch()
+}
+
+// commitOnly is likewise unconstrained.
+func commitOnly(w *WAL) error {
+	return w.AppendCommit(nil)
+}

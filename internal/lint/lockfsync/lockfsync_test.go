@@ -1,0 +1,12 @@
+package lockfsync_test
+
+import (
+	"testing"
+
+	"flordb/internal/lint/analysistest"
+	"flordb/internal/lint/lockfsync"
+)
+
+func TestLockFsync(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockfsync.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package snapshotrelease_test
+
+import (
+	"testing"
+
+	"flordb/internal/lint/analysistest"
+	"flordb/internal/lint/snapshotrelease"
+)
+
+func TestSnapshotRelease(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), snapshotrelease.Analyzer, "a")
+}

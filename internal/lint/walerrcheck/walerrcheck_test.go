@@ -1,0 +1,12 @@
+package walerrcheck_test
+
+import (
+	"testing"
+
+	"flordb/internal/lint/analysistest"
+	"flordb/internal/lint/walerrcheck"
+)
+
+func TestWalErrCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), walerrcheck.Analyzer, "a")
+}

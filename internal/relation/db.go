@@ -38,6 +38,7 @@ type Database struct {
 	tables  map[string]*Table
 	virtual map[string]VirtualTable
 	epoch   atomic.Int64 // committed epoch; rows written now belong to epoch+1
+	pins    atomic.Int64 // live (unreleased) snapshot pins
 }
 
 // NewDatabase creates an empty database at epoch 0.
@@ -50,6 +51,13 @@ func NewDatabase() *Database {
 
 // Epoch returns the current committed epoch.
 func (db *Database) Epoch() int64 { return db.epoch.Load() }
+
+// Pins returns the number of live (unreleased) snapshot pins. It feeds the
+// /healthz snapshot_pins gauge, and the epoch-retention GC will refuse to
+// reclaim epochs a live pin still covers — so a leaked pin is an unbounded
+// retention leak, which is why the snapshotrelease analyzer enforces the
+// release discipline statically.
+func (db *Database) Pins() int64 { return db.pins.Load() }
 
 // AdvanceEpoch publishes the in-flight write epoch: rows written since the
 // previous advance become visible to committed-epoch snapshots taken from
@@ -76,7 +84,9 @@ func (db *Database) SnapshotLatest() *Snapshot { return db.snapshotAt(db.epoch.L
 func (db *Database) snapshotAt(epoch int64) *Snapshot {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	db.pins.Add(1)
 	s := &Snapshot{
+		db:      db,
 		epoch:   epoch,
 		tables:  make(map[string]*TableSnapshot, len(db.tables)),
 		virtual: make(map[string]VirtualTable, len(db.virtual)),
@@ -205,13 +215,28 @@ func (db *Database) Names() []string {
 // are derived from external stores (the version-control repo, the build
 // system) and materialize at read time.
 type Snapshot struct {
-	epoch   int64
-	tables  map[string]*TableSnapshot
-	virtual map[string]VirtualTable
+	db       *Database
+	epoch    int64
+	tables   map[string]*TableSnapshot
+	virtual  map[string]VirtualTable
+	released atomic.Bool
 }
 
 // Epoch returns the epoch the snapshot is pinned at.
 func (s *Snapshot) Epoch() int64 { return s.epoch }
+
+// Release unpins the snapshot, decrementing the owning database's pin
+// count. It is idempotent and nil-safe; the snapshot's data remains
+// readable afterwards (release only ends retention accounting, it does
+// not invalidate the pinned table states).
+func (s *Snapshot) Release() {
+	if s == nil || s.db == nil {
+		return
+	}
+	if s.released.CompareAndSwap(false, true) {
+		s.db.pins.Add(-1)
+	}
+}
 
 // Table returns the named table's pinned view.
 func (s *Snapshot) Table(name string) (*TableSnapshot, bool) {

@@ -70,7 +70,7 @@ func NewReplayer(ctx *Context, ctxCounter *int64) *Replayer {
 	}
 	// Historical flor.arg resolutions.
 	ctx.Tables.Args.Scan(func(_ relation.RowID, row relation.Row) bool {
-		if row[0].AsText() == ctx.ProjID && row[1].AsInt() == ctx.Tstamp {
+		if row[0].AsText() == ctx.ProjID && row[1].AsInt() == ctx.TstampNow() {
 			r.argLookup[row[3].AsText()] = row[4].AsText()
 		}
 		return true
@@ -80,7 +80,7 @@ func NewReplayer(ctx *Context, ctxCounter *int64) *Replayer {
 	// part of the key because inner loops restart per outer iteration (every
 	// document has a page 0).
 	ctx.Tables.Loops.Scan(func(_ relation.RowID, row relation.Row) bool {
-		if row[0].AsText() == ctx.ProjID && row[1].AsInt() == ctx.Tstamp {
+		if row[0].AsText() == ctx.ProjID && row[1].AsInt() == ctx.TstampNow() {
 			name := row[5].AsText()
 			iter := row[6].AsInt()
 			ctxID := row[3].AsInt()
@@ -121,7 +121,7 @@ func (r *Replayer) resolveCtx(loopName string, iter int64, val script.Value) (in
 	id := r.allocCtx()
 	text, _ := formatScriptValue(val)
 	rec := &record.LoopRecord{
-		Kind: record.KindLoop, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.Tstamp,
+		Kind: record.KindLoop, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.TstampNow(),
 		Filename: r.Ctx.Filename, CtxID: id, ParentCtxID: r.curCtx(),
 		LoopName: loopName, LoopIter: iter, IterValue: text, Wall: time.Now().UTC(),
 	}
@@ -146,7 +146,7 @@ func (r *Replayer) Log(name string, v script.Value) (script.Value, error) {
 	}
 	text, vt := formatScriptValue(v)
 	rec := &record.LogRecord{
-		Kind: record.KindLog, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.Tstamp,
+		Kind: record.KindLog, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.TstampNow(),
 		Filename: r.Ctx.Filename, CtxID: r.curCtx(), ValueName: name,
 		Value: text, ValueType: vt, Wall: time.Now().UTC(),
 	}
@@ -195,7 +195,7 @@ func (r *Replayer) LoopBegin(name string, vals []script.Value) (script.LoopSessi
 func (r *Replayer) ckptLoopName() string { return r.Ckpt.loopName }
 
 func (r *Replayer) ckptBlob(loopName string, iter int) ([]byte, bool) {
-	return r.Ctx.Tables.GetBlobExact(r.Ctx.ProjID, ckptName(loopName, iter), r.Ctx.Tstamp)
+	return r.Ctx.Tables.GetBlobExact(r.Ctx.ProjID, ckptName(loopName, iter), r.Ctx.TstampNow())
 }
 
 // outerPlan describes, per iteration, whether it runs and in which mode.
@@ -253,7 +253,7 @@ func (r *Replayer) IterationBegin(name string, val script.Value) error {
 	if !ok {
 		id = r.allocCtx()
 		rec := &record.LoopRecord{
-			Kind: record.KindLoop, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.Tstamp,
+			Kind: record.KindLoop, ProjID: r.Ctx.ProjID, Tstamp: r.Ctx.TstampNow(),
 			Filename: r.Ctx.Filename, CtxID: id, ParentCtxID: r.curCtx(),
 			LoopName: name, LoopIter: -1, IterValue: text, Wall: time.Now().UTC(),
 		}

@@ -204,6 +204,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	defer view.Close()
 	res, err := view.SQL(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -223,6 +224,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	defer view.Close()
 	plan, err := view.Explain(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -255,6 +257,7 @@ func (s *Server) handleDataframe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	defer view.Close()
 	df, err := view.DataframeAt(r.URL.Query().Get("filename"), tstamp, names...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -266,13 +269,14 @@ func (s *Server) handleDataframe(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"ok":        true,
-		"project":   s.sess.ProjID,
-		"epoch":     s.sess.Database().Epoch(),
-		"in_flight": len(s.slots),
-		"queued":    len(s.queue),
-		"served":    s.served.Load(),
-		"rejected":  s.rejected.Load(),
+		"ok":            true,
+		"project":       s.sess.ProjID,
+		"epoch":         s.sess.Database().Epoch(),
+		"snapshot_pins": s.sess.Database().Pins(),
+		"in_flight":     len(s.slots),
+		"queued":        len(s.queue),
+		"served":        s.served.Load(),
+		"rejected":      s.rejected.Load(),
 	})
 }
 

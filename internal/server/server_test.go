@@ -134,6 +134,14 @@ func TestDataframeEndpoint(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	srv := New(testSession(t), Config{})
+	// Serve a few queries first: each handler pins a snapshot view, and
+	// every one of them must be released by the time the response is
+	// written — the snapshot_pins gauge below is how a leak would show.
+	for i := 0; i < 3; i++ {
+		if code, _ := getJSON(t, srv, "/sql?q=SELECT+projid+FROM+logs"); code != http.StatusOK {
+			t.Fatalf("warmup query status = %d", code)
+		}
+	}
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK {
@@ -145,6 +153,9 @@ func TestHealthz(t *testing.T) {
 	}
 	if resp["ok"] != true || resp["project"] != "api" {
 		t.Fatalf("healthz: %v", resp)
+	}
+	if pins, ok := resp["snapshot_pins"].(float64); !ok || pins != 0 {
+		t.Fatalf("snapshot_pins = %v, want 0 (a leaked request view?)", resp["snapshot_pins"])
 	}
 }
 

@@ -6,14 +6,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 )
 
 // BlobStore is a content-addressed file store used for checkpoint blobs
 // (the durable half of obj_store) and shared with the vcs object store
-// layout: blobs live at <root>/<aa>/<rest-of-hash>.
+// layout: blobs live at <root>/<aa>/<rest-of-hash>. It needs no mutex:
+// writes land in a unique temp file and are published by atomic rename,
+// so concurrent Puts of the same key just install identical bytes.
 type BlobStore struct {
-	mu   sync.Mutex
 	root string
 }
 
@@ -39,19 +39,31 @@ func HashKey(data []byte) string {
 func (b *BlobStore) Put(data []byte) (string, error) {
 	key := HashKey(data)
 	path := b.pathFor(key)
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if _, err := os.Stat(path); err == nil {
 		return key, nil
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return "", fmt.Errorf("storage: blob mkdir: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// A unique temp name per writer keeps concurrent Puts of the same key
+	// from clobbering each other's staging file; the rename is atomic and
+	// both sides carry identical bytes, so whichever lands last wins
+	// harmlessly. This also keeps blob IO outside any lock (lockfsync).
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".blob-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("storage: blob tmp: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
 		return "", fmt.Errorf("storage: blob write: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("storage: blob close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		return "", fmt.Errorf("storage: blob rename: %w", err)
 	}
 	return key, nil

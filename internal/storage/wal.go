@@ -261,6 +261,7 @@ func (w *WAL) syncCommitted(gen, target int64) error {
 		sGen, sOff := w.gen, w.size
 		if err == nil {
 			if w.dirUnsynced && w.sync {
+				//florvet:ignore lockfsync w.mu IS the flush-serialization point of group commit; the leader holds it for the whole IO round by design
 				if derr := syncDir(filepath.Dir(w.path)); derr != nil {
 					err = derr
 				} else {
@@ -376,6 +377,7 @@ func (w *WAL) Truncate(off int64) error {
 			return fmt.Errorf("storage: truncate: %w", err)
 		}
 		if w.sync {
+			//florvet:ignore lockfsync recovery-time truncation: nothing serves during recovery, and the shortened size must not be observable before the fsync lands
 			if err := w.f.Sync(); err != nil {
 				return fmt.Errorf("storage: truncate sync: %w", err)
 			}
