@@ -1,6 +1,6 @@
 # Development targets. CI runs these as parallel jobs (see
 # .github/workflows/ci.yml): lint (fmt+goimports+vet+florvet+staticcheck+
-# govulncheck), test, crash-matrix,
+# govulncheck), test, crash-matrix, repl-matrix,
 # race-stress, fuzz, and bench followed by bench-gate — the benchmark
 # regression gate. bench-gate diffs the fresh BENCH_latest.json against the
 # committed BENCH_baseline.json with cmd/benchdiff and fails on >25%
@@ -10,7 +10,7 @@
 # of `make check`: absolute ns/op only compares within one hardware class,
 # so local machines run the snapshot but not the diff.
 
-.PHONY: check fmt vet vet-custom build test race-stress bench bench-full bench-gate fuzz
+.PHONY: check fmt vet vet-custom build test race-stress repl-matrix bench bench-full bench-gate fuzz
 
 check: fmt vet vet-custom build test bench
 
@@ -43,6 +43,14 @@ test:
 # with elevated parallelism; CI runs it on each push.
 race-stress:
 	GOMAXPROCS=8 go test -race -run Concurrent -count=3 -timeout 15m ./...
+
+# repl-matrix runs the replication crash-equivalence suite under -race:
+# the follower kill matrix (every byte of every segment fetch + each
+# install/replay boundary), the primary compaction kill matrix, the
+# gap/CRC refusal tests, and the randomized primary/replica equivalence
+# property. See CONTRIBUTING.md; CI runs it as a parallel job.
+repl-matrix:
+	go test -race -run 'TestFollowerKillMatrix|TestPrimaryKillMatrix|TestFollowerRefuses|TestReplicaEqualsPrimaryProperty' -count=1 -timeout 15m -v ./internal/repl
 
 # bench runs every benchmark once and snapshots the machine-readable output
 # to BENCH_latest.json; CI uploads it as an artifact so the perf trajectory

@@ -8,7 +8,10 @@
 package flor_test
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,6 +24,7 @@ import (
 	"flordb/internal/hostlib"
 	"flordb/internal/record"
 	"flordb/internal/relation"
+	"flordb/internal/repl"
 	"flordb/internal/replay"
 	"flordb/internal/script"
 	"flordb/internal/sqlparse"
@@ -1065,3 +1069,71 @@ func benchGroupCommit(b *testing.B, writers int) {
 func BenchmarkC13GroupCommit1(b *testing.B)  { benchGroupCommit(b, 1) }
 func BenchmarkC13GroupCommit4(b *testing.B)  { benchGroupCommit(b, 4) }
 func BenchmarkC13GroupCommit16(b *testing.B) { benchGroupCommit(b, 16) }
+
+// ---------------------------------------------------------------------------
+// C15 — replica catch-up: a cold follower bootstraps over HTTP segment
+// shipping and replays 100k records (100 sealed segments) into its own MVCC
+// epochs. Measures the full pipeline: manifest, ranged fetch, CRC verify,
+// install, replay, epoch publish.
+// ---------------------------------------------------------------------------
+
+func BenchmarkC15ReplicaCatchup(b *testing.B) {
+	const (
+		commits       = 100
+		logsPerCommit = 1000
+	)
+	dir := b.TempDir()
+	// SegmentBytes: 1 seals a segment at every commit, so the whole history
+	// is shippable and the follower exercises the segment path (not a
+	// snapshot install).
+	sess, err := flor.Open(dir, "bench", flor.Options{NoSync: true, SegmentBytes: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	sess.SetFilename("app.go")
+	for c := 0; c < commits; c++ {
+		for i := 0; i < logsPerCommit; i++ {
+			sess.Log("metric", i)
+		}
+		if err := sess.Commit(""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	blobs, err := storage.NewBlobStore(filepath.Join(dir, ".flor", "objects"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prim := repl.NewPrimary(sess, blobs)
+	srv := httptest.NewServer(prim.Routes())
+	defer srv.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		f, err := repl.StartFollower(ctx, repl.FollowerConfig{
+			PrimaryURL: srv.URL,
+			Dir:        b.TempDir(),
+			ProjID:     "bench",
+			PollWait:   10 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() { f.Run(ctx); close(done) }()
+		for f.Applied() < commits {
+			if err := f.Fault(); err != nil {
+				b.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		<-done
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(commits*logsPerCommit), "records/catchup")
+}

@@ -10,11 +10,17 @@
 //	flordb compact                                    fold WAL history into a snapshot
 //	flordb build <Makefile> <goal>                    run a pipeline Makefile
 //	flordb serve [--addr :8080]                       feedback web UI + SQL-over-HTTP API
+//	flordb serve --replicate-from=URL                 serve as a read-only replica
+//	flordb promote [--replicate-from=URL]             flip a replica directory writable
 //	flordb demo                                       end-to-end PDF-parser demo
 //
 // serve mounts the Figure-6 feedback UI at / and the JSON query API at
 // /sql, /explain, /dataframe and /healthz, with bounded request admission
-// and graceful shutdown on SIGINT/SIGTERM.
+// and graceful shutdown on SIGINT/SIGTERM. A primary additionally ships
+// sealed WAL segments to followers from /repl/; with --replicate-from the
+// process is instead a follower: it tails the named primary, serves
+// read-only queries from its own MVCC snapshots, and answers 503 with
+// Retry-After when lagging beyond --max-lag-epochs or --max-stale.
 //
 // State lives under ./.flor in the working directory (override with --dir).
 package main
@@ -39,8 +45,10 @@ import (
 	"flordb/internal/docsim"
 	"flordb/internal/hostlib"
 	"flordb/internal/mlsim"
+	"flordb/internal/repl"
 	"flordb/internal/server"
 	"flordb/internal/sqlparse"
+	"flordb/internal/storage"
 	"flordb/internal/vcs"
 	"flordb/internal/webui"
 )
@@ -53,7 +61,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: flordb {run|hindsight|dataframe|sql|versions|compact|build|serve|demo} ...")
+	return fmt.Errorf("usage: flordb {run|hindsight|dataframe|sql|versions|compact|build|serve|promote|demo} ...")
 }
 
 func run(args []string) error {
@@ -71,6 +79,10 @@ func run(args []string) error {
 	format := fs.String("format", "table", "sql output format: table|json|csv")
 	maxInFlight := fs.Int("max-inflight", 32, "serve: max concurrently executing API queries")
 	maxQueue := fs.Int("max-queue", 64, "serve: max API queries waiting for a slot before 429")
+	replicateFrom := fs.String("replicate-from", "", "serve/promote: primary base URL to replicate from (e.g. http://primary:8080)")
+	maxLagEpochs := fs.Int64("max-lag-epochs", 64, "replica: refuse reads when lagging more epochs than this (0 = no bound)")
+	maxStale := fs.Duration("max-stale", 30*time.Second, "replica: refuse reads after this long without primary contact (0 = no bound)")
+	retainSegments := fs.Int("retain-segments", 0, "primary: sealed WAL segments compaction keeps for late-joining replicas")
 	var scriptArgs argList
 	fs.Var(&scriptArgs, "arg", "script argument name=value (repeatable)")
 	if err := fs.Parse(rest); err != nil {
@@ -79,7 +91,7 @@ func run(args []string) error {
 	pos := fs.Args()
 
 	openSess := func() (*flor.Session, *hostlib.State, error) {
-		sess, err := flor.Open(*dir, *proj, flor.Options{Args: scriptArgs.m, Stdout: os.Stdout})
+		sess, err := flor.Open(*dir, *proj, flor.Options{Args: scriptArgs.m, Stdout: os.Stdout, RetainSegments: *retainSegments})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -262,11 +274,57 @@ func run(args []string) error {
 		return nil
 
 	case "serve":
-		sess, st, err := openSess()
-		if err != nil {
-			return err
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+
+		cfg := server.Config{MaxInFlight: *maxInFlight, MaxQueue: *maxQueue}
+		var sess *flor.Session
+		var st *hostlib.State
+		var follower *repl.Follower
+		var primary *repl.Primary
+		if *replicateFrom != "" {
+			// Follower: tail the primary, serve read-only queries from local
+			// MVCC snapshots, and gate reads on the staleness bound.
+			f, err := repl.StartFollower(ctx, repl.FollowerConfig{
+				PrimaryURL:   strings.TrimRight(*replicateFrom, "/"),
+				Dir:          *dir,
+				ProjID:       *proj,
+				MaxLagEpochs: *maxLagEpochs,
+				MaxFetchAge:  *maxStale,
+				Logf:         func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+				Open:         flor.Options{Stdout: os.Stdout, RetainSegments: *retainSegments},
+			})
+			if err != nil {
+				return err
+			}
+			follower = f
+			sess = f.Session()
+			st = hostlib.NewState(docsim.Config{
+				NumDocs: *docs, MinPages: 3, MaxPages: 8, OCRFraction: 0.4, Seed: uint64(*seed),
+			}, 16)
+			cfg.Gate = f.Gate
+			cfg.Health = f.Health
+			go func() {
+				if err := f.Run(ctx); err != nil {
+					fmt.Fprintln(os.Stderr, "flordb: replication stopped:", err)
+				}
+			}()
+		} else {
+			var err error
+			sess, st, err = openSess()
+			if err != nil {
+				return err
+			}
+			blobs, err := storage.NewBlobStore(filepath.Join(*dir, ".flor", "objects"))
+			if err != nil {
+				sess.Close()
+				return err
+			}
+			primary = repl.NewPrimary(sess, blobs)
+			cfg.Health = primary.Health
 		}
 		defer sess.Close()
+
 		model := mlsim.NewMLP(st.Dim, 32, 2, mlsim.NewRNG(7))
 		ui := webui.NewServer(sess, st.Corpus, func(doc *docsim.Document) []bool {
 			out := make([]bool, len(doc.Pages))
@@ -275,7 +333,7 @@ func run(args []string) error {
 			}
 			return out
 		})
-		api := server.New(sess, server.Config{MaxInFlight: *maxInFlight, MaxQueue: *maxQueue})
+		api := server.New(sess, cfg)
 		// One mux: the JSON query API next to the Figure-6 feedback UI,
 		// both reading the same session through snapshots.
 		mux := http.NewServeMux()
@@ -284,13 +342,41 @@ func run(args []string) error {
 		mux.Handle("/dataframe", api)
 		mux.Handle("/healthz", api)
 		mux.Handle("/", ui)
+		if primary != nil {
+			mux.Handle("/repl/", primary.Routes())
+		}
 
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		defer stop()
+		// Surface the replication gauges in the serve log, mirroring /healthz.
+		go func() {
+			t := time.NewTicker(30 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					g := make(map[string]any)
+					if follower != nil {
+						follower.Health(g)
+						fmt.Printf("repl: replica_lag_epochs=%v replica_last_fetch_unix=%v repl_segments_shipped=%v\n",
+							g["replica_lag_epochs"], g["replica_last_fetch_unix"], g["repl_segments_shipped"])
+					} else {
+						primary.Health(g)
+						fmt.Printf("repl: repl_segments_shipped=%v repl_followers=%v\n",
+							g["repl_segments_shipped"], g["repl_followers"])
+					}
+				}
+			}
+		}()
+
 		hs := &http.Server{Addr: *addr, Handler: mux}
 		errc := make(chan error, 1)
 		go func() { errc <- hs.ListenAndServe() }()
-		fmt.Printf("serving the feedback UI and SQL API on %s (SIGINT/SIGTERM to drain and stop)\n", *addr)
+		role := "primary"
+		if follower != nil {
+			role = "read-only replica of " + *replicateFrom
+		}
+		fmt.Printf("serving the feedback UI and SQL API on %s as %s (SIGINT/SIGTERM to drain and stop)\n", *addr, role)
 		select {
 		case err := <-errc:
 			return err
@@ -308,6 +394,43 @@ func run(args []string) error {
 		}
 		<-errc // http.ErrServerClosed
 		fmt.Println("drained in-flight requests; bye")
+		return nil
+
+	case "promote":
+		// Flip a replica directory writable. With --replicate-from and a
+		// reachable primary, a final catch-up runs first; without it, local
+		// state is promoted as-is — safe because a follower only ever acks
+		// segments it has durably installed and applied, so the local
+		// directory always covers everything this replica acknowledged.
+		opts := flor.Options{Stdout: os.Stdout, RetainSegments: *retainSegments}
+		if *replicateFrom != "" {
+			ctx := context.Background()
+			f, err := repl.StartFollower(ctx, repl.FollowerConfig{
+				PrimaryURL: strings.TrimRight(*replicateFrom, "/"),
+				Dir:        *dir,
+				ProjID:     *proj,
+				Logf:       func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+				Open:       opts,
+			})
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := f.Promote(ctx); err != nil {
+				return err
+			}
+			fmt.Printf("promoted %s: writable at tstamp %d (replayed through segment %d)\n", *dir, f.Session().Tstamp(), f.Applied())
+			return nil
+		}
+		sess, err := flor.OpenReplica(*dir, *proj, opts)
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		if err := sess.Promote(); err != nil {
+			return err
+		}
+		fmt.Printf("promoted %s: writable at tstamp %d\n", *dir, sess.Tstamp())
 		return nil
 
 	case "demo":

@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flordb/internal/build"
@@ -58,6 +59,10 @@ type Dataframe = pivot.Dataframe
 // ErrClosed is returned by Session methods called after Close.
 var ErrClosed = errors.New("flor: session is closed")
 
+// ErrReadOnly is returned by mutating Session methods on a read-only
+// replica session (OpenReplica) that has not been promoted.
+var ErrReadOnly = errors.New("flor: session is read-only (replica; promote to write)")
+
 // Session is one FlorDB project handle: a shared engine owning the metadata
 // database, the WAL, the checkpoint blob store, and the version-control
 // repository. Methods are safe for concurrent use unless noted.
@@ -71,7 +76,12 @@ type Session struct {
 
 	mu        sync.Mutex
 	runMu     sync.Mutex // serializes whole RunScript executions
+	replMu    sync.Mutex // serializes ApplyReplicatedSegment and Promote
 	dir       string     // "" for in-memory sessions
+	walPath   string     // active WAL path; set even when wal is nil (replica mode)
+	walOpts   storage.Options
+	readOnly  atomic.Bool // replica mode: recording and commits fail with ErrReadOnly
+	replLock  io.Closer   // project flock held in replica mode (OpenWAL holds it otherwise)
 	db        *relation.Database
 	tables    *record.Tables
 	wal       *storage.WAL
@@ -81,6 +91,8 @@ type Session struct {
 	recorder  *replay.Recorder
 	snapEvery int               // auto-compact every N commits (0 = never)
 	sinceSnap int               // commits since the last auto-compaction
+	retainSeg int               // sealed segments compaction always keeps (Options.RetainSegments)
+	ackFloor  func() int64      // replication retention floor fed to the compactor
 	workspace map[string]string // filename -> contents staged for commit
 	hosts     map[string]script.HostFunc
 	cliArgs   map[string]string
@@ -128,8 +140,27 @@ type Options struct {
 	// triggering Commit, so size N to amortize it. 0 disables
 	// auto-compaction.
 	SnapshotEvery int
+	// RetainSegments keeps the newest N sealed WAL segments on disk across
+	// compactions even once a snapshot covers them, so read replicas that
+	// connect late can still catch up over segments instead of forcing a
+	// full snapshot re-seed. Replication additionally pins segments that a
+	// live follower has not yet acked (Session.SetRetainFloor). 0 retains
+	// nothing beyond the ack floor.
+	RetainSegments int
 	// Stdout receives Flow script print output (nil = discard).
 	Stdout io.Writer
+}
+
+// walOptions resolves Options into the storage options the WAL is (or, for a
+// replica, would on promotion be) opened with.
+func walOptions(opts Options) storage.Options {
+	segBytes := opts.SegmentBytes
+	if segBytes == 0 {
+		segBytes = storage.DefaultSegmentBytes
+	} else if segBytes < 0 {
+		segBytes = 0
+	}
+	return storage.Options{NoSync: opts.NoSync, SegmentBytes: segBytes}
 }
 
 // Open opens (creating if necessary) the FlorDB project rooted at dir. All
@@ -139,13 +170,8 @@ func Open(dir, projid string, opts Options) (*Session, error) {
 	if err := os.MkdirAll(florDir, 0o755); err != nil {
 		return nil, fmt.Errorf("flor: %w", err)
 	}
-	segBytes := opts.SegmentBytes
-	if segBytes == 0 {
-		segBytes = storage.DefaultSegmentBytes
-	} else if segBytes < 0 {
-		segBytes = 0
-	}
-	wal, err := storage.OpenWAL(filepath.Join(florDir, "flor.wal"), storage.Options{NoSync: opts.NoSync, SegmentBytes: segBytes})
+	walPath := filepath.Join(florDir, "flor.wal")
+	wal, err := storage.OpenWAL(walPath, walOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +183,7 @@ func Open(dir, projid string, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := newSession(projid, dir, wal, blobs, repo, opts)
+	s, err := newSession(projid, dir, wal, walPath, false, blobs, repo, opts)
 	if err != nil {
 		wal.Close() // releases the project lock
 		return nil, err
@@ -165,13 +191,59 @@ func Open(dir, projid string, opts Options) (*Session, error) {
 	return s, nil
 }
 
+// OpenReplica opens the project rooted at dir as a read-only replica: state
+// is recovered from the local table snapshot plus sealed WAL segments (the
+// units replication ships), no active WAL file is created, and every
+// mutating method fails with ErrReadOnly. Replication applies shipped
+// history with ApplyReplicatedSegment, publishing one MVCC epoch per
+// replicated commit so snapshot readers observe whole transactions; Promote
+// flips the session writable after a failover.
+//
+// The project flock is held exactly as a writable session holds it, so one
+// process replicates into a directory at a time. A non-empty active WAL
+// file is refused: it means the directory belonged to a writable session
+// (or a promoted replica), and tailing a different primary over it would
+// interleave two histories.
+func OpenReplica(dir, projid string, opts Options) (*Session, error) {
+	florDir := filepath.Join(dir, ".flor")
+	if err := os.MkdirAll(florDir, 0o755); err != nil {
+		return nil, fmt.Errorf("flor: %w", err)
+	}
+	walPath := filepath.Join(florDir, "flor.wal")
+	lock, err := storage.LockProject(walPath)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := os.Stat(walPath); err == nil && st.Size() > 0 {
+		lock.Close()
+		return nil, fmt.Errorf("flor: %s has a non-empty active WAL; refusing to open as a replica of another history", walPath)
+	}
+	blobs, err := storage.NewBlobStore(filepath.Join(florDir, "objects"))
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	repo, err := vcs.Load(filepath.Join(florDir, "repo.json"))
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	s, err := newSession(projid, dir, nil, walPath, true, blobs, repo, opts)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	s.replLock = lock
+	return s, nil
+}
+
 // OpenMemory creates an ephemeral in-memory session (no WAL, no blob files);
 // useful for tests and benchmarks.
 func OpenMemory(projid string, opts Options) (*Session, error) {
-	return newSession(projid, "", nil, nil, vcs.NewRepo(), opts)
+	return newSession(projid, "", nil, "", false, nil, vcs.NewRepo(), opts)
 }
 
-func newSession(projid, dir string, wal *storage.WAL, blobs *storage.BlobStore, repo *vcs.Repo, opts Options) (*Session, error) {
+func newSession(projid, dir string, wal *storage.WAL, walPath string, readOnly bool, blobs *storage.BlobStore, repo *vcs.Repo, opts Options) (*Session, error) {
 	db := relation.NewDatabase()
 	tables, err := record.CreateTables(db)
 	if err != nil {
@@ -180,6 +252,8 @@ func newSession(projid, dir string, wal *storage.WAL, blobs *storage.BlobStore, 
 	s := &Session{
 		ProjID:    projid,
 		dir:       dir,
+		walPath:   walPath,
+		walOpts:   walOptions(opts),
 		db:        db,
 		tables:    tables,
 		wal:       wal,
@@ -187,6 +261,7 @@ func newSession(projid, dir string, wal *storage.WAL, blobs *storage.BlobStore, 
 		repo:      repo,
 		tstamp:    1,
 		snapEvery: opts.SnapshotEvery,
+		retainSeg: opts.RetainSegments,
 		workspace: make(map[string]string),
 		hosts:     make(map[string]script.HostFunc),
 		cliArgs:   opts.Args,
@@ -196,9 +271,11 @@ func newSession(projid, dir string, wal *storage.WAL, blobs *storage.BlobStore, 
 	if s.stdout == nil {
 		s.stdout = io.Discard
 	}
+	s.readOnly.Store(readOnly)
 
-	// Recover prior state from the WAL.
-	if wal != nil {
+	// Recover prior state from the WAL (or, for a replica, from the local
+	// snapshot plus the sealed segments replication has installed so far).
+	if walPath != "" {
 		maxTs, err := s.recover()
 		if err != nil {
 			return nil, err
@@ -254,12 +331,16 @@ func newSession(projid, dir string, wal *storage.WAL, blobs *storage.BlobStore, 
 // or torn tail of the active WAL file is truncated so a later commit cannot
 // resurrect records that were never durable.
 func (s *Session) recover() (int64, error) {
-	res, err := storage.RecoverTables(s.wal.Path(), s.tables, s.blobs, s.rootTgt, true)
+	res, err := storage.RecoverTables(s.walPath, s.tables, s.blobs, s.rootTgt, true)
 	if err != nil {
 		return 0, err
 	}
-	if err := s.wal.Truncate(res.ActiveCommittedLen); err != nil {
-		return 0, err
+	// A replica has no active WAL file to truncate: only sealed segments and
+	// snapshots ever reach its directory, and both are commit-aligned.
+	if s.wal != nil {
+		if err := s.wal.Truncate(res.ActiveCommittedLen); err != nil {
+			return 0, err
+		}
 	}
 	return res.MaxTstamp, nil
 }
@@ -282,13 +363,16 @@ func (s *Session) SetFilename(name string) {
 
 // ---------- Native Go API (§2.1) ----------
 
-// Log records a named value and returns it (flor.log). On a closed session
-// the value passes through unrecorded.
+// Log records a named value and returns it (flor.log). On a closed or
+// read-only session the value passes through unrecorded.
 func (s *Session) Log(name string, v any) any {
 	if s.begin() != nil {
 		return v
 	}
 	defer s.end()
+	if s.readOnly.Load() {
+		return v
+	}
 	out, err := s.recorder.Log(name, toScriptValue(v))
 	if err != nil {
 		return v
@@ -296,8 +380,12 @@ func (s *Session) Log(name string, v any) any {
 	return out
 }
 
-// ArgInt resolves an integer hyperparameter (flor.arg).
+// ArgInt resolves an integer hyperparameter (flor.arg). Read-only sessions
+// resolve to the default without recording.
 func (s *Session) ArgInt(name string, def int64) int64 {
+	if s.readOnly.Load() {
+		return def
+	}
 	v, err := s.recorder.Arg(name, def)
 	if err != nil {
 		return def
@@ -307,6 +395,9 @@ func (s *Session) ArgInt(name string, def int64) int64 {
 
 // ArgFloat resolves a float hyperparameter (flor.arg).
 func (s *Session) ArgFloat(name string, def float64) float64 {
+	if s.readOnly.Load() {
+		return def
+	}
 	v, err := s.recorder.Arg(name, def)
 	if err != nil {
 		return def
@@ -316,6 +407,9 @@ func (s *Session) ArgFloat(name string, def float64) float64 {
 
 // ArgString resolves a string hyperparameter (flor.arg).
 func (s *Session) ArgString(name, def string) string {
+	if s.readOnly.Load() {
+		return def
+	}
 	v, err := s.recorder.Arg(name, def)
 	if err != nil {
 		return def
@@ -341,6 +435,9 @@ func (s *Session) Loop(name string, n int) *LoopIter {
 		return &LoopIter{n: n, i: -1, err: err}
 	}
 	defer s.end()
+	if s.readOnly.Load() {
+		return &LoopIter{n: n, i: -1, err: ErrReadOnly}
+	}
 	vals := make([]script.Value, n)
 	for i := range vals {
 		vals[i] = int64(i)
@@ -355,6 +452,9 @@ func (s *Session) LoopVals(name string, vals []string) *LoopIter {
 		return &LoopIter{n: len(vals), i: -1, err: err}
 	}
 	defer s.end()
+	if s.readOnly.Load() {
+		return &LoopIter{n: len(vals), i: -1, err: ErrReadOnly}
+	}
 	sv := make([]script.Value, len(vals))
 	for i, v := range vals {
 		sv[i] = v
@@ -415,6 +515,9 @@ func (s *Session) Checkpointing(objs map[string]Snapshotter) (*CheckpointScope, 
 		return nil, err
 	}
 	defer s.end()
+	if s.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
 	m := make(map[string]script.Value, len(objs))
 	for k, v := range objs {
 		m[k] = v
@@ -431,6 +534,9 @@ func (c *CheckpointScope) Close() error { return c.rec.CheckpointingEnd() }
 // StageFile registers file contents to be captured by the next Commit —
 // FlorDB's automatic version control of executed code.
 func (s *Session) StageFile(name, contents string) {
+	if s.readOnly.Load() {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.workspace[name] = contents
@@ -450,6 +556,9 @@ func (s *Session) Commit(message string) error {
 		return err
 	}
 	defer s.end()
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 
 	s.mu.Lock()
 	var vid string
@@ -530,6 +639,9 @@ func (s *Session) Compact() (storage.CompactStats, error) {
 		return storage.CompactStats{}, err
 	}
 	defer s.end()
+	if s.readOnly.Load() {
+		return storage.CompactStats{}, ErrReadOnly
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.compactLocked()
@@ -539,8 +651,131 @@ func (s *Session) compactLocked() (storage.CompactStats, error) {
 	if s.wal == nil {
 		return storage.CompactStats{}, fmt.Errorf("flor: in-memory session has no WAL to compact")
 	}
-	c := &storage.Compactor{WAL: s.wal, Blobs: s.blobs, RootTarget: s.rootTgt}
+	c := &storage.Compactor{
+		WAL: s.wal, Blobs: s.blobs, RootTarget: s.rootTgt,
+		RetainSegments: s.retainSeg, RetainFloor: s.ackFloor,
+	}
 	return c.Compact()
+}
+
+// SetRetainFloor installs the replication retention floor: a function
+// returning the lowest sealed-segment sequence a live follower still needs
+// (math.MaxInt64 for "no constraint"). Compaction keeps segments at or above
+// the floor even once a snapshot covers them, so shipping can never lose a
+// race against the compactor. internal/repl's primary installs this from its
+// follower ack tracking.
+func (s *Session) SetRetainFloor(fn func() int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ackFloor = fn
+}
+
+// ---------- Replication ----------
+
+// ReadOnly reports whether the session is an unpromoted replica.
+func (s *Session) ReadOnly() bool { return s.readOnly.Load() }
+
+// WALPath returns the session's active WAL path ("" for in-memory sessions).
+// Replication uses it to derive segment and snapshot file paths.
+func (s *Session) WALPath() string { return s.walPath }
+
+// ApplyReplicatedSegment replays the sealed segment with the given sequence —
+// already fetched, CRC-verified, and installed under the session's WAL
+// directory by internal/repl — into the replica's tables. One MVCC epoch is
+// published per commit record, so concurrent snapshot readers only ever
+// observe whole transactions, exactly as they would on the primary. The
+// session's logical timestamp advances past the segment's newest commit.
+//
+// Apply is idempotent-by-construction at the file level: a crash mid-apply
+// loses only in-memory state, and the next OpenReplica recovers by replaying
+// every installed segment from scratch. Only read-only sessions may apply;
+// calls race neither each other nor Promote (both serialize on an internal
+// mutex).
+func (s *Session) ApplyReplicatedSegment(seq int64) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if !s.readOnly.Load() {
+		return fmt.Errorf("flor: ApplyReplicatedSegment on a writable session (segment %d): replication must stop at promotion", seq)
+	}
+	var maxTs int64
+	path := storage.SegmentPath(s.walPath, seq)
+	err := storage.ReplaySealedSegment(path, func(rec any) error {
+		ts, err := storage.ApplyRecovered(rec, s.tables, s.blobs, s.rootTgt)
+		if err != nil {
+			return err
+		}
+		if ts > maxTs {
+			maxTs = ts
+		}
+		if _, isCommit := rec.(*record.CommitRecord); isCommit {
+			s.db.AdvanceEpoch()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if maxTs >= s.tstamp {
+		s.tstamp = maxTs + 1
+		s.recorder.Ctx.SetTstamp(s.tstamp)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Promote flips a replica session writable after a failover: it releases the
+// replica's hold on the project lock, opens the active WAL exactly as Open
+// would (continuing segment numbering past the replicated history), and
+// clears the read-only bit. Callers are responsible for the safety check
+// that the replica has replayed through the last commit the primary acked —
+// internal/repl's follower performs it before calling Promote.
+//
+// Promoting is idempotent; promoting an in-memory session is an error. On
+// failure the session stays a functioning read-only replica (the project
+// lock is re-acquired best-effort; losing it to a concurrent process is
+// surfaced by that process failing to open the WAL, never by silent
+// double-writing — OpenWAL takes the same lock).
+func (s *Session) Promote() error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if !s.readOnly.Load() {
+		return nil
+	}
+	if s.walPath == "" {
+		return fmt.Errorf("flor: in-memory session cannot be promoted")
+	}
+	// flock is per file-description: the fresh lock OpenWAL takes would
+	// conflict with the replica's own, so release ours first. The window is
+	// safe — any process that steals the lock in between makes our OpenWAL
+	// fail, and we fall back to read-only.
+	if s.replLock != nil {
+		if err := s.replLock.Close(); err != nil {
+			return fmt.Errorf("flor: promote: release replica lock: %w", err)
+		}
+		s.replLock = nil
+	}
+	wal, err := storage.OpenWAL(s.walPath, s.walOpts)
+	if err != nil {
+		if lock, lerr := storage.LockProject(s.walPath); lerr == nil {
+			s.replLock = lock
+		}
+		return fmt.Errorf("flor: promote: %w", err)
+	}
+	s.mu.Lock()
+	s.wal = wal
+	s.recorder.Ctx.WAL = wal
+	s.mu.Unlock()
+	s.readOnly.Store(false)
+	return nil
 }
 
 // ---------- Query surface ----------
@@ -761,6 +996,9 @@ func (s *Session) RunScript(filename, src string) error {
 		return err
 	}
 	defer s.end()
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 	f, err := script.Parse(filename, src)
 	if err != nil {
 		return err
@@ -809,6 +1047,9 @@ func (s *Session) Hindsight(filename, newSrc string, targets []int) ([]Hindsight
 		return nil, err
 	}
 	defer s.end()
+	if s.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
 	versions, err := replay.HistoricalVersions(s.repo, s.tables, s.ProjID, filename)
 	if err != nil {
 		return nil, err
@@ -908,10 +1149,17 @@ func (s *Session) Close() error {
 	s.closed = true
 	s.closeMu.Unlock()
 	s.inflight.Wait()
+	var err error
 	if s.wal != nil {
-		return s.wal.Close()
+		err = s.wal.Close()
 	}
-	return nil
+	if s.replLock != nil {
+		if cerr := s.replLock.Close(); err == nil {
+			err = cerr
+		}
+		s.replLock = nil
+	}
+	return err
 }
 
 func toScriptValue(v any) script.Value {

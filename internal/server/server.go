@@ -44,6 +44,19 @@ type Config struct {
 	QueueWait time.Duration
 	// FlushEvery is the row interval between streaming flushes (default 256).
 	FlushEvery int
+	// Gate, when set, is consulted after a query request wins admission and
+	// before it executes. A non-nil error rejects the request with 503 and a
+	// Retry-After header of GateRetryAfter — replication uses it to refuse
+	// reads on a follower lagging beyond its staleness bound, honoring the
+	// contract that bounded-staleness reads degrade to "try again" rather
+	// than to silently stale answers. /healthz is never gated.
+	Gate func() error
+	// GateRetryAfter is the Retry-After duration advertised with Gate
+	// rejections (default 1s); round up to whole seconds.
+	GateRetryAfter time.Duration
+	// Health, when set, merges extra gauges into the /healthz payload
+	// (replication lag, shipping counters).
+	Health func(map[string]any)
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlushEvery <= 0 {
 		c.FlushEvery = 256
+	}
+	if c.GateRetryAfter <= 0 {
+		c.GateRetryAfter = time.Second
 	}
 	return c
 }
@@ -90,6 +106,13 @@ func New(sess *flor.Session, cfg Config) *Server {
 	s.mux.HandleFunc("/dataframe", s.admitted(s.handleDataframe))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// Handle mounts an extra handler on the server's mux — replication mounts
+// its /repl/ shipping endpoints here so followers and dashboards share one
+// listener.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 // ServeHTTP implements http.Handler, so the API can be mounted next to other
@@ -163,6 +186,15 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer release()
+		if s.cfg.Gate != nil {
+			if gerr := s.cfg.Gate(); gerr != nil {
+				s.rejected.Add(1)
+				secs := int64((s.cfg.GateRetryAfter + time.Second - 1) / time.Second)
+				w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				writeError(w, http.StatusServiceUnavailable, gerr.Error())
+				return
+			}
+		}
 		s.served.Add(1)
 		h(w, r)
 	}
@@ -268,7 +300,7 @@ func (s *Server) handleDataframe(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	payload := map[string]any{
 		"ok":            true,
 		"project":       s.sess.ProjID,
 		"epoch":         s.sess.Database().Epoch(),
@@ -277,7 +309,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queued":        len(s.queue),
 		"served":        s.served.Load(),
 		"rejected":      s.rejected.Load(),
-	})
+	}
+	if s.cfg.Health != nil {
+		s.cfg.Health(payload)
+	}
+	json.NewEncoder(w).Encode(payload)
 }
 
 // streamResult writes {"epoch":E,"columns":[...],"rows":[[...],...],"row_count":N}

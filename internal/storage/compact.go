@@ -3,6 +3,7 @@ package storage
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,6 +29,20 @@ type Compactor struct {
 	Blobs      *BlobStore // optional; rehydrates obj_store rows for the snapshot
 	RootTarget string     // ts2vid root_target for replayed commit records
 	Keep       int        // snapshots to retain, including the new one (default 2)
+
+	// RetainSegments keeps the newest N sealed segments on disk even once a
+	// snapshot covers them, so a replica that has not connected yet can still
+	// catch up over segments instead of a full snapshot re-seed. 0 keeps none
+	// beyond what RetainFloor demands.
+	RetainSegments int
+	// RetainFloor, when set, returns the lowest sealed-segment sequence that
+	// must survive compaction — replication supplies the lowest segment not
+	// yet fetched and acked by a live follower, so compaction on the primary
+	// cannot race a slow follower out of its catch-up window. Segments with
+	// Seq >= RetainFloor() are kept; return MaxInt64 for "no constraint".
+	// Retained covered segments are redundant for recovery (invariant 3 in
+	// the package comment), so keeping them is pure space, never correctness.
+	RetainFloor func() int64
 
 	// Kill points for crash-injection tests: a hook returning an error
 	// aborts compaction at exactly that step, simulating a crash. All nil in
@@ -152,8 +167,19 @@ func (c *Compactor) Compact() (CompactStats, error) {
 			return stats, err
 		}
 	}
+	keepFrom := int64(math.MaxInt64)
+	if c.RetainFloor != nil {
+		if f := c.RetainFloor(); f < keepFrom {
+			keepFrom = f
+		}
+	}
+	if c.RetainSegments > 0 {
+		if f := upto - int64(c.RetainSegments) + 1; f < keepFrom {
+			keepFrom = f
+		}
+	}
 	for _, sg := range segs {
-		if sg.Seq > stats.SnapshotSeq {
+		if sg.Seq > stats.SnapshotSeq || sg.Seq >= keepFrom {
 			continue
 		}
 		if err := os.Remove(sg.Path); err != nil {

@@ -175,6 +175,23 @@ func ReplaySegments(walPath string, afterSeq int64, strictCommits bool, fn func(
 	return TailStats{ActiveCommittedLen: committedLen}, nil
 }
 
+// ReplaySealedSegment replays one sealed segment file in strict commit mode.
+// Rotation only happens at commit boundaries, so a sealed segment always ends
+// with a commit record; a torn final line or a leftover uncommitted suffix
+// means the file is truncated or tampered with and is an error, never
+// silently skipped. Replication uses this to apply a shipped segment into a
+// replica's tables.
+func ReplaySealedSegment(path string, fn func(rec any) error) error {
+	st := &replayState{strict: true, fn: fn}
+	if _, err := replayFile(path, false, st); err != nil {
+		return err
+	}
+	if len(st.buf) > 0 {
+		return fmt.Errorf("storage: sealed segment %s ends with %d uncommitted record(s); refusing to apply", path, len(st.buf))
+	}
+	return nil
+}
+
 // replaySealed replays only the sealed segments in (afterSeq, uptoSeq] —
 // what compaction folds into a snapshot. Every sealed segment ends with a
 // commit record (rotation happens only at commit boundaries), so a leftover
