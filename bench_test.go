@@ -1137,3 +1137,52 @@ func BenchmarkC15ReplicaCatchup(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(commits*logsPerCommit), "records/catchup")
 }
+
+// ---------------------------------------------------------------------------
+// C16 — time travel: an AS OF aggregate pinned at a mid-history epoch versus
+// the same query at the latest epoch. The visibility check is a per-version
+// epoch comparison, so historical reads should pay a small constant factor,
+// not a replay.
+// ---------------------------------------------------------------------------
+
+func benchAsOfSession(b *testing.B) *flor.Session {
+	b.Helper()
+	sess, err := flor.OpenMemory("bench", flor.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sess.Close() })
+	sess.SetFilename("app.go")
+	const commits, logsPerCommit = 10, 1000
+	for c := 0; c < commits; c++ {
+		for i := 0; i < logsPerCommit; i++ {
+			sess.Log("metric", c*logsPerCommit+i)
+		}
+		if err := sess.Commit(""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sess
+}
+
+func benchAsOfQuery(b *testing.B, q string, wantRows int64) {
+	sess := benchAsOfSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sess.SQL(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := res.Rows[0][0].AsInt(); got != wantRows {
+			b.Fatalf("count = %d, want %d", got, wantRows)
+		}
+	}
+}
+
+func BenchmarkC16AsOfQuery(b *testing.B) {
+	benchAsOfQuery(b, "SELECT count(*) AS n FROM logs WHERE value_name = 'metric' AS OF 5", 5000)
+}
+
+func BenchmarkC16AsOfQueryLatestBaseline(b *testing.B) {
+	benchAsOfQuery(b, "SELECT count(*) AS n FROM logs WHERE value_name = 'metric'", 10000)
+}

@@ -5,6 +5,7 @@
 //	flordb dataframe <name> [<name> ...]              pivoted metadata view
 //	flordb sql "<query>"                              SQL over the Figure-1 schema
 //	flordb sql --format json|csv "<query>"            machine-readable output
+//	flordb sql --as-of <epoch> "<query>"              time travel: query a past epoch
 //	flordb sql "EXPLAIN <query>"                      show the chosen query plan
 //	flordb versions <script.flow>                     committed versions of a file
 //	flordb compact                                    fold WAL history into a snapshot
@@ -77,6 +78,7 @@ func run(args []string) error {
 	docs := fs.Int("docs", 8, "synthetic corpus size")
 	seed := fs.Int("seed", 1, "corpus seed")
 	format := fs.String("format", "table", "sql output format: table|json|csv")
+	asOf := fs.Int64("as-of", -1, "sql: run against this historical commit epoch (-1 = latest)")
 	maxInFlight := fs.Int("max-inflight", 32, "serve: max concurrently executing API queries")
 	maxQueue := fs.Int("max-queue", 64, "serve: max API queries waiting for a slot before 429")
 	replicateFrom := fs.String("replicate-from", "", "serve/promote: primary base URL to replicate from (e.g. http://primary:8080)")
@@ -184,9 +186,23 @@ func run(args []string) error {
 			return err
 		}
 		defer sess.Close()
-		res, err := sess.SQL(pos[0])
-		if err != nil {
-			return err
+		var res *sqlparse.Result
+		if *asOf >= 0 {
+			view, err := sess.ReaderAt(*asOf)
+			if err != nil {
+				return err
+			}
+			defer view.Close()
+			res, err = view.SQL(pos[0])
+			if err != nil {
+				return err
+			}
+		} else {
+			var err error
+			res, err = sess.SQL(pos[0])
+			if err != nil {
+				return err
+			}
 		}
 		return printSQLResult(os.Stdout, res, *format)
 

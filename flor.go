@@ -63,6 +63,11 @@ var ErrClosed = errors.New("flor: session is closed")
 // replica session (OpenReplica) that has not been promoted.
 var ErrReadOnly = errors.New("flor: session is read-only (replica; promote to write)")
 
+// ErrEpochRetired is returned by time-travel reads (ReaderAt, AS OF) that
+// target an epoch below the retention floor set by the epoch-retention GC.
+// The concrete error is a *relation.EpochRetiredError carrying the floor.
+var ErrEpochRetired = relation.ErrEpochRetired
+
 // Session is one FlorDB project handle: a shared engine owning the metadata
 // database, the WAL, the checkpoint blob store, and the version-control
 // repository. Methods are safe for concurrent use unless noted.
@@ -93,12 +98,16 @@ type Session struct {
 	sinceSnap int               // commits since the last auto-compaction
 	retainSeg int               // sealed segments compaction always keeps (Options.RetainSegments)
 	ackFloor  func() int64      // replication retention floor fed to the compactor
+	retainEp  int               // epochs GCEpochs keeps below the committed epoch (0 = retain all)
+	epAck     func() int64      // lowest follower-applied epoch, fed to GCEpochs by internal/repl
 	workspace map[string]string // filename -> contents staged for commit
 	hosts     map[string]script.HostFunc
 	cliArgs   map[string]string
 	rootTgt   string
 	stdout    io.Writer
 	plans     *sqlparse.PlanCache
+	epochs    *storage.EpochIndex // epoch↔commit-timestamp map for AS OF TIMESTAMP
+	gcRows    atomic.Int64        // row versions reclaimed by GCEpochs since open
 
 	// Lifecycle: begin/end bracket every public operation so Close can
 	// refuse new work (ErrClosed) and drain what is in flight before
@@ -147,6 +156,12 @@ type Options struct {
 	// live follower has not yet acked (Session.SetRetainFloor). 0 retains
 	// nothing beyond the ack floor.
 	RetainSegments int
+	// RetainEpochs bounds time-travel history: Session.GCEpochs retires
+	// epochs more than RetainEpochs commits behind the committed epoch
+	// (clamped to live snapshot pins and follower acks), reclaiming row
+	// versions no retained epoch can see. 0 retains every epoch forever —
+	// GCEpochs is then a no-op.
+	RetainEpochs int
 	// Stdout receives Flow script print output (nil = discard).
 	Stdout io.Writer
 }
@@ -262,11 +277,13 @@ func newSession(projid, dir string, wal *storage.WAL, walPath string, readOnly b
 		tstamp:    1,
 		snapEvery: opts.SnapshotEvery,
 		retainSeg: opts.RetainSegments,
+		retainEp:  opts.RetainEpochs,
 		workspace: make(map[string]string),
 		hosts:     make(map[string]script.HostFunc),
 		cliArgs:   opts.Args,
 		stdout:    opts.Stdout,
 		plans:     sqlparse.NewPlanCache(0),
+		epochs:    storage.NewEpochIndex(),
 	}
 	if s.stdout == nil {
 		s.stdout = io.Discard
@@ -275,6 +292,10 @@ func newSession(projid, dir string, wal *storage.WAL, walPath string, readOnly b
 
 	// Recover prior state from the WAL (or, for a replica, from the local
 	// snapshot plus the sealed segments replication has installed so far).
+	// Recovery positions the MVCC epoch from the snapshot meta and advances
+	// it once per replayed commit record, so the recovered database counts
+	// exactly the commit records of its whole history — the same epoch the
+	// crashed session (and any replica of it) had.
 	if walPath != "" {
 		maxTs, err := s.recover()
 		if err != nil {
@@ -283,9 +304,6 @@ func newSession(projid, dir string, wal *storage.WAL, walPath string, readOnly b
 		if maxTs >= s.tstamp {
 			s.tstamp = maxTs + 1
 		}
-		// Recovered rows were written at the in-flight epoch; publish them
-		// so committed-epoch snapshots see the recovered state.
-		db.AdvanceEpoch()
 	}
 
 	// Register the git virtual table over the repo.
@@ -331,10 +349,29 @@ func newSession(projid, dir string, wal *storage.WAL, walPath string, readOnly b
 // or torn tail of the active WAL file is truncated so a later commit cannot
 // resurrect records that were never durable.
 func (s *Session) recover() (int64, error) {
-	res, err := storage.RecoverTables(s.walPath, s.tables, s.blobs, s.rootTgt, true)
+	hooks := storage.RecoverHooks{
+		AfterSnapshot: func(meta record.SnapshotMeta) {
+			s.db.SetEpoch(meta.Epoch)
+			s.db.SetMinEpoch(meta.MinEpoch)
+			s.epochs.Load(meta.Epochs)
+		},
+		OnCommit: func(rec *record.CommitRecord) {
+			s.epochs.Note(s.db.AdvanceEpoch(), rec.Wall)
+		},
+	}
+	res, err := storage.RecoverTables(s.walPath, s.tables, s.blobs, s.rootTgt, true, hooks)
 	if err != nil {
 		return 0, err
 	}
+	// A GC run may have raised the retention floor after the newest snapshot
+	// was written; the manifest is the durable record of that decision, so
+	// the recovered session keeps refusing AS OF below it even though the
+	// replayed row versions are back in memory until the next compaction.
+	retention, err := storage.ReadRetention(s.walPath)
+	if err != nil {
+		return 0, err
+	}
+	s.db.SetMinEpoch(retention.MinEpoch)
 	// A replica has no active WAL file to truncate: only sealed segments and
 	// snapshots ever reach its directory, and both are commit-aligned.
 	if s.wal != nil {
@@ -606,8 +643,14 @@ func (s *Session) Commit(message string) error {
 		}
 	}
 	// Publish the commit boundary: rows logged before this point become
-	// visible to committed-epoch snapshots taken from now on.
-	s.db.AdvanceEpoch()
+	// visible to committed-epoch snapshots taken from now on. The epoch's
+	// commit wall clock feeds AS OF TIMESTAMP resolution; it uses the WAL
+	// record's stamp so replay reconstructs the same map.
+	wall := time.Now().UTC()
+	if rec != nil {
+		wall = rec.Wall
+	}
+	s.epochs.Note(s.db.AdvanceEpoch(), wall)
 
 	if s.wal != nil && s.snapEvery > 0 {
 		s.mu.Lock()
@@ -670,6 +713,80 @@ func (s *Session) SetRetainFloor(fn func() int64) {
 	s.ackFloor = fn
 }
 
+// SetEpochAckFloor installs the replication epoch floor: a function returning
+// the lowest committed epoch a live follower has applied (math.MaxInt64 for
+// "no constraint"). GCEpochs clamps its retention floor to it, so the primary
+// never retires history a replica is still serving time-travel reads from.
+// internal/repl's primary installs this from its follower ack tracking.
+func (s *Session) SetEpochAckFloor(fn func() int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epAck = fn
+}
+
+// GCStats reports what one epoch-retention GC cycle did.
+type GCStats struct {
+	// Floor is the retention floor after the cycle: the lowest epoch
+	// time-travel reads may still target.
+	Floor int64
+	// RowsReclaimed counts row versions whose payload was dropped — versions
+	// both born and tombstoned below the floor, invisible at every retained
+	// epoch.
+	RowsReclaimed int
+}
+
+// GCEpochs runs one epoch-retention GC cycle. The retention floor is
+// committed epoch − Options.RetainEpochs, clamped down to the oldest live
+// snapshot pin and the oldest follower-applied epoch (SetEpochAckFloor), and
+// never below the previous floor. Row versions tombstoned at or below the
+// floor are reclaimed in memory immediately; the floor is persisted in the
+// storage retention manifest so the next compaction folds them out of the
+// durable snapshot and a restarted session keeps refusing AS OF below it.
+// With Options.RetainEpochs zero the call is a no-op.
+func (s *Session) GCEpochs() (GCStats, error) {
+	if err := s.begin(); err != nil {
+		return GCStats{}, err
+	}
+	defer s.end()
+	if s.readOnly.Load() {
+		return GCStats{}, ErrReadOnly
+	}
+	s.mu.Lock()
+	retain := s.retainEp
+	epAck := s.epAck
+	s.mu.Unlock()
+	if retain <= 0 {
+		return GCStats{Floor: s.db.MinEpoch()}, nil
+	}
+	floor := s.db.Epoch() - int64(retain)
+	if epAck != nil {
+		if f := epAck(); f < floor {
+			floor = f
+		}
+	}
+	if floor <= 0 {
+		return GCStats{Floor: s.db.MinEpoch()}, nil
+	}
+	reclaimed, applied := s.db.GCBelow(floor)
+	s.gcRows.Add(int64(reclaimed))
+	s.epochs.TrimBelow(applied)
+	if s.walPath != "" {
+		if err := storage.WriteRetention(s.walPath, storage.RetentionManifest{MinEpoch: applied}); err != nil {
+			return GCStats{Floor: applied, RowsReclaimed: reclaimed}, err
+		}
+	}
+	return GCStats{Floor: applied, RowsReclaimed: reclaimed}, nil
+}
+
+// RetentionFloor returns the current epoch retention floor: the lowest epoch
+// ReaderAt and AS OF may target. It feeds the /healthz retention_floor_epoch
+// gauge and the floor echoed by HTTP 400 responses to retired as_of requests.
+func (s *Session) RetentionFloor() int64 { return s.db.MinEpoch() }
+
+// GCRowsReclaimed returns the total row versions reclaimed by GCEpochs since
+// the session opened (the /healthz gc_rows_reclaimed gauge).
+func (s *Session) GCRowsReclaimed() int64 { return s.gcRows.Load() }
+
 // ---------- Replication ----------
 
 // ReadOnly reports whether the session is an unpromoted replica.
@@ -711,8 +828,8 @@ func (s *Session) ApplyReplicatedSegment(seq int64) error {
 		if ts > maxTs {
 			maxTs = ts
 		}
-		if _, isCommit := rec.(*record.CommitRecord); isCommit {
-			s.db.AdvanceEpoch()
+		if cr, isCommit := rec.(*record.CommitRecord); isCommit {
+			s.epochs.Note(s.db.AdvanceEpoch(), cr.Wall)
 		}
 		return nil
 	})
@@ -829,6 +946,31 @@ func (s *Session) makeView(pin func(*relation.Database) *relation.Snapshot) (*Sn
 	return &SnapshotView{sess: s, snap: snap, view: view}, nil
 }
 
+// ReaderAt pins a read-only view at a historical committed epoch — the
+// time-travel analog of Reader. Epoch e sees exactly the first e commits of
+// the project's history, on the primary, on any replica, and across restarts
+// and compactions (epochs count commit records since project birth). Future
+// epochs are refused outright; epochs below the retention floor fail with
+// ErrEpochRetired, carrying the floor in a *relation.EpochRetiredError.
+// Close the view when done: the pin blocks the epoch-retention GC from
+// retiring the pinned epoch.
+func (s *Session) ReaderAt(epoch int64) (*SnapshotView, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	snap, err := s.db.SnapshotAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	view, err := s.tables.At(snap)
+	if err != nil {
+		snap.Release()
+		return nil, err
+	}
+	return &SnapshotView{sess: s, snap: snap, view: view}, nil
+}
+
 // Epoch returns the committed epoch the view is pinned at.
 func (v *SnapshotView) Epoch() int64 { return v.snap.Epoch() }
 
@@ -847,19 +989,68 @@ func (v *SnapshotView) Close() error {
 }
 
 // SQL runs a SQL query against the pinned state. Repeated query texts hit
-// the session's LRU plan cache.
+// the session's LRU plan cache. An `AS OF <epoch>` clause rebases the query
+// at the historical epoch (failing with ErrEpochRetired below the retention
+// floor); `AS OF TIMESTAMP '<ts>'` first resolves the timestamp to the
+// greatest epoch committed at or before it via the session's persisted
+// epoch↔timestamp map.
 func (v *SnapshotView) SQL(query string) (*sqlparse.Result, error) {
 	stmt, err := v.sess.plans.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return sqlparse.Execute(v.snap, stmt)
+	return sqlparse.Execute(v.snap, v.resolveAsOf(stmt))
+}
+
+// resolveAsOf rewrites an AS OF TIMESTAMP statement into epoch form using the
+// session's epoch↔timestamp map. Cached statements are immutable, so the
+// rewrite is a shallow copy. Timestamps before every retained commit resolve
+// to epoch 0 (the empty database) when nothing was retired, and to a retired
+// epoch — which the executor then refuses with ErrEpochRetired — when the GC
+// has trimmed history from under the timestamp.
+func (v *SnapshotView) resolveAsOf(stmt *sqlparse.SelectStmt) *sqlparse.SelectStmt {
+	if stmt.AsOf == nil || !stmt.AsOf.ByTime {
+		return stmt
+	}
+	epoch, ok := v.sess.epochs.Resolve(stmt.AsOf.Time)
+	if !ok {
+		if floor := v.sess.db.MinEpoch(); floor > 0 {
+			epoch = floor - 1
+		}
+	}
+	if pinned := v.snap.Epoch(); epoch > pinned {
+		// Commits after this view was pinned cannot be visible through it.
+		epoch = pinned
+	}
+	clone := *stmt
+	clone.AsOf = &sqlparse.AsOfClause{Epoch: epoch}
+	return &clone
 }
 
 // Explain returns the plan the planner chooses for the query against the
 // pinned state.
 func (v *SnapshotView) Explain(query string) (string, error) {
-	return explain(v.sess.plans, v.snap, query)
+	stmt, err := v.sess.plans.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	stmt = v.resolveAsOf(stmt)
+	if !stmt.Explain {
+		// The cached statement is never mutated: a shallow copy carries the
+		// flag.
+		clone := *stmt
+		clone.Explain = true
+		stmt = &clone
+	}
+	res, err := sqlparse.Execute(v.snap, stmt)
+	if err != nil {
+		return "", err
+	}
+	lines := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		lines[i] = r[0].String()
+	}
+	return strings.Join(lines, "\n"), nil
 }
 
 // Dataframe pivots the named logged values across all versions visible in
@@ -920,30 +1111,6 @@ func (s *Session) Explain(query string) (string, error) {
 	}
 	defer v.Close()
 	return v.Explain(query)
-}
-
-// explain renders the chosen plan for a query against a catalog. The cached
-// statement is never mutated: when the text lacks an EXPLAIN prefix, a
-// shallow copy carries the flag.
-func explain(plans *sqlparse.PlanCache, cat relation.Catalog, query string) (string, error) {
-	stmt, err := plans.Parse(query)
-	if err != nil {
-		return "", err
-	}
-	if !stmt.Explain {
-		clone := *stmt
-		clone.Explain = true
-		stmt = &clone
-	}
-	res, err := sqlparse.Execute(cat, stmt)
-	if err != nil {
-		return "", err
-	}
-	lines := make([]string, len(res.Rows))
-	for i, r := range res.Rows {
-		lines[i] = r[0].String()
-	}
-	return strings.Join(lines, "\n"), nil
 }
 
 // Database exposes the catalog (for registering additional virtual tables,
@@ -1098,7 +1265,7 @@ func (s *Session) Hindsight(filename, newSrc string, targets []int) ([]Hindsight
 		}
 		// The marker is a commit boundary: publish the backfilled rows to
 		// committed-epoch snapshot readers as well.
-		s.db.AdvanceEpoch()
+		s.epochs.Note(s.db.AdvanceEpoch(), mark.Wall)
 	}
 	return reports, err
 }

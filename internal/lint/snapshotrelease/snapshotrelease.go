@@ -1,19 +1,19 @@
 // Package snapshotrelease defines an Analyzer that enforces the
 // snapshot-pin discipline of DESIGN §8: every pinned MVCC view —
-// Database.Snapshot(), Database.SnapshotLatest(), Session.Reader(),
-// Session.LatestReader() — must be released (Release/Close) on every
-// control-flow path, lostcancel-style. Pins are cheap but counted:
-// the pin count feeds the /healthz snapshot_pins gauge, and the
-// planned epoch-retention GC will refuse to reclaim epochs that a
-// leaked pin still covers, so a request handler that forgets Close
+// Database.Snapshot(), Database.SnapshotLatest(), Database.SnapshotAt(),
+// Session.Reader(), Session.LatestReader(), Session.ReaderAt() — must be
+// released (Release/Close) on every control-flow path, lostcancel-style.
+// Pins are cheap but counted: the pin count feeds the /healthz
+// snapshot_pins gauge, and epoch-retention GC refuses to reclaim epochs
+// that a leaked pin still covers, so a request handler that forgets Close
 // turns into an unbounded retention leak under load.
 //
 // An acquisition is a call to a method named Snapshot, SnapshotLatest,
-// Reader, or LatestReader whose first result has a Release or Close
-// method — the method-set requirement keeps unrelated Reader()/
-// Snapshot() methods (io.Reader factories, model weight snapshots)
-// out of scope. The analyzer then requires, for the local variable
-// holding the result:
+// SnapshotAt, Reader, ReaderAt, or LatestReader whose first result has a
+// Release or Close method — the method-set requirement keeps unrelated
+// Reader()/Snapshot() methods (io.Reader factories, model weight
+// snapshots) out of scope. The analyzer then requires, for the local
+// variable holding the result:
 //
 //   - a v.Release()/v.Close() call or a `defer v.Close()` on every CFG
 //     path from the acquisition to every function exit;
@@ -56,9 +56,13 @@ var Analyzer = &analysis.Analyzer{
 
 func init() { lintutil.AddExcludeFlag(Analyzer) }
 
-// acquireMethods are the pinning entry points, by name.
+// acquireMethods are the pinning entry points, by name. ReaderAt and
+// SnapshotAt are the time-travel variants: they pin a historical epoch, and
+// a leaked historical pin additionally blocks epoch-retention GC at that
+// epoch forever.
 var acquireMethods = map[string]bool{
 	"Snapshot": true, "SnapshotLatest": true, "Reader": true, "LatestReader": true,
+	"ReaderAt": true, "SnapshotAt": true,
 }
 
 // releaseMethods are the accepted release calls, by name.

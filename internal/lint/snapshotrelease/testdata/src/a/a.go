@@ -26,8 +26,11 @@ func (v *View) SQL(q string) (int, error) { _ = q; return 0, nil }
 
 type Session struct{ db *DB }
 
-func (s *Session) Reader() (*View, error)       { return &View{}, nil }
-func (s *Session) LatestReader() (*View, error) { return &View{}, nil }
+func (s *Session) Reader() (*View, error)              { return &View{}, nil }
+func (s *Session) LatestReader() (*View, error)        { return &View{}, nil }
+func (s *Session) ReaderAt(epoch int64) (*View, error) { _ = epoch; return &View{}, nil }
+
+func (d *DB) SnapshotAt(epoch int64) (*Snapshot, error) { _ = epoch; return &Snapshot{}, nil }
 
 func neverReleased(db *DB) int {
 	snap := db.Snapshot() // want `snapshot pinned by Snapshot is never released`
@@ -116,6 +119,49 @@ func goodPassed(s *Session, sink func(*View)) error {
 	}
 	sink(v)
 	return nil
+}
+
+// leakyReaderAt: the time-travel pin paths are acquisitions too — a leaked
+// historical pin blocks epoch-retention GC at that epoch.
+func leakyReaderAt(s *Session) (int, error) {
+	v, err := s.ReaderAt(7) // want `snapshot pinned by ReaderAt is never released`
+	if err != nil {
+		return 0, err
+	}
+	return v.SQL("SELECT 1")
+}
+
+func leakySnapshotAt(db *DB, c bool) int {
+	snap, err := db.SnapshotAt(3) // want `snapshot pinned by SnapshotAt may not be released on the path`
+	if err != nil {
+		return 0
+	}
+	if c {
+		return 1 // exits without snap.Release()
+	}
+	n := snap.Rows()
+	snap.Release()
+	return n
+}
+
+// goodReaderAt follows the handler idiom with the historical pin.
+func goodReaderAt(s *Session) (int, error) {
+	v, err := s.ReaderAt(7)
+	if err != nil {
+		return 0, err
+	}
+	defer v.Close()
+	return v.SQL("SELECT 1")
+}
+
+func goodSnapshotAt(db *DB) int {
+	snap, err := db.SnapshotAt(3)
+	if err != nil {
+		return 0
+	}
+	n := snap.Rows()
+	snap.Release()
+	return n
 }
 
 type Corpus struct{}

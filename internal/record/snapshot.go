@@ -7,16 +7,24 @@
 // Layout (all integers varint-encoded unless noted):
 //
 //	magic "FLORSNAP"
-//	uvarint meta length, meta JSON {"version","seq","max_tstamp"}
+//	uvarint meta length, meta JSON {"version","seq","max_tstamp",
+//	    "epoch","min_epoch","epochs"}
 //	string dictionary: uvarint count, then per entry uvarint len + bytes
 //	per base table, in Tables order (logs, loops, ts2vid, obj_store, args):
 //	    uvarint name length, name
-//	    uvarint row count
-//	    rows: per column one tag byte + payload
+//	    uvarint version count
+//	    versions: zigzag varint born epoch, zigzag varint dead epoch
+//	        (0 = live), then per column one tag byte + payload
 //	        'N' NULL    'i' zigzag varint    'f' 8-byte LE float bits
 //	        's' uvarint dictionary index     'b'/'B' bool false/true
 //	        't' varint UnixNano              'x' uvarint len + blob bytes
 //	4-byte LE CRC-32C (Castagnoli, hardware-accelerated) of everything above
+//
+// Format v2 persists full MVCC history: every row version carries its
+// born/dead epochs, so a recovered database answers `AS OF <epoch>` queries
+// exactly as the one that wrote the snapshot did. Versions tombstoned at or
+// below the retention floor (meta min_epoch) are folded out at write time —
+// this is how the epoch-retention GC's reclamation becomes durable.
 //
 // The codec is deliberately not JSONL: decoding a snapshot row costs a type
 // switch and a varint, not two reflective json.Unmarshal calls. Text cells
@@ -42,16 +50,30 @@ import (
 
 // SnapshotVersion is the current snapshot format version. Readers reject
 // snapshots from a different version (recovery then falls back to an older
-// snapshot or a full replay).
-const SnapshotVersion = 1
+// snapshot or a full replay). Version 2 added per-version born/dead epochs
+// and the epoch/min_epoch/epochs meta fields for time travel.
+const SnapshotVersion = 2
 
 const snapshotMagic = "FLORSNAP"
+
+// EpochStamp maps one committed epoch to the wall-clock time of the commit
+// that published it. The ordered list of stamps is the persisted
+// epoch↔timestamp map that `AS OF TIMESTAMP` resolution binary-searches.
+type EpochStamp struct {
+	Epoch int64 `json:"e"`
+	Wall  int64 `json:"w"` // commit wall clock, Unix nanoseconds UTC
+}
 
 // SnapshotMeta stamps a snapshot with what it covers.
 type SnapshotMeta struct {
 	Version   int   `json:"version"`
 	Seq       int64 `json:"seq"`        // highest sealed WAL segment folded in
 	MaxTstamp int64 `json:"max_tstamp"` // highest logical timestamp covered
+	Epoch     int64 `json:"epoch"`      // committed epoch folded in (commit records since birth)
+	MinEpoch  int64 `json:"min_epoch,omitempty"`
+	// Epochs is the epoch↔commit-wall-clock map for epochs in
+	// [MinEpoch, Epoch], ascending. Tail replay extends it.
+	Epochs []EpochStamp `json:"epochs,omitempty"`
 }
 
 // snapshotTables returns the base tables in their fixed serialization order.
@@ -91,13 +113,26 @@ func WriteSnapshot(w io.Writer, meta SnapshotMeta, t *Tables) error {
 	buf := make([]byte, 0, 1<<10)
 	for _, tbl := range t.snapshotTables() {
 		name := tbl.Name()
+		rows, born, dead := tbl.Versions()
+		// Fold out versions the retention GC already reclaimed in memory
+		// (nil payload) or that fall at or below the persisted floor: both
+		// are invisible at every epoch a reader of this snapshot may target.
+		persist := 0
+		for id := range rows {
+			if snapPersists(rows[id], dead[id], meta.MinEpoch) {
+				persist++
+			}
+		}
 		buf = binary.AppendUvarint(buf[:0], uint64(len(name)))
 		buf = append(buf, name...)
-		rows := tbl.Rows()
-		buf = binary.AppendUvarint(buf, uint64(len(rows)))
+		buf = binary.AppendUvarint(buf, uint64(persist))
 		rowsBuf.Write(buf)
-		for _, r := range rows {
-			buf = buf[:0]
+		for id, r := range rows {
+			if !snapPersists(r, dead[id], meta.MinEpoch) {
+				continue
+			}
+			buf = binary.AppendVarint(buf[:0], born[id])
+			buf = binary.AppendVarint(buf, dead[id])
 			for i := range r {
 				buf = appendSnapValue(buf, &r[i], dict)
 			}
@@ -136,6 +171,13 @@ func WriteSnapshot(w io.Writer, meta SnapshotMeta, t *Tables) error {
 		return fmt.Errorf("record: write snapshot: %w", err)
 	}
 	return nil
+}
+
+// snapPersists reports whether a row version belongs in a snapshot with the
+// given retention floor: it must have a payload (not reclaimed in memory) and
+// must still be visible at some epoch >= floor.
+func snapPersists(r relation.Row, dead, minEpoch int64) bool {
+	return r != nil && (dead == 0 || dead > minEpoch)
 }
 
 func appendSnapValue(dst []byte, v *relation.Value, dict *snapDict) []byte {
@@ -214,6 +256,8 @@ func ReadSnapshot(data []byte, t *Tables) (SnapshotMeta, error) {
 
 	tbls := t.snapshotTables()
 	batches := make([][]relation.Row, len(tbls))
+	borns := make([][]int64, len(tbls))
+	deads := make([][]int64, len(tbls))
 	for i, tbl := range tbls {
 		name := string(rd.bytes(int(rd.uvarint())))
 		if rd.err != nil {
@@ -226,14 +270,22 @@ func ReadSnapshot(data []byte, t *Tables) (SnapshotMeta, error) {
 		width := tbl.Schema().Len()
 		// Every cell costs at least one byte, so n cannot exceed
 		// len(buf)/width in a valid snapshot (divide — the product n*width
-		// could overflow int on a crafted count and panic make below).
+		// could overflow int on a crafted count and panic make below; the
+		// born/dead prefixes only make each version cost more).
 		if rd.err != nil || n < 0 || width <= 0 || n > len(rd.buf)/width {
 			return meta, errors.New("record: snapshot row count out of range")
 		}
 		rows := make([]relation.Row, n)
+		born := make([]int64, n)
+		dead := make([]int64, n)
 		cells := make([]relation.Value, n*width)
 		schema := tbl.Schema()
 		for j := range rows {
+			born[j] = rd.varint()
+			dead[j] = rd.varint()
+			if rd.err == nil && (born[j] < 0 || dead[j] < 0 || (dead[j] != 0 && dead[j] < born[j])) {
+				return meta, fmt.Errorf("record: snapshot %s row %d: bad epochs born=%d dead=%d", name, j, born[j], dead[j])
+			}
 			row := cells[j*width : (j+1)*width : (j+1)*width]
 			for k := range row {
 				rd.valueInto(&row[k], dict)
@@ -255,13 +307,13 @@ func ReadSnapshot(data []byte, t *Tables) (SnapshotMeta, error) {
 		if rd.err != nil {
 			return meta, rd.err
 		}
-		batches[i] = rows
+		batches[i], borns[i], deads[i] = rows, born, dead
 	}
 	if len(rd.buf) != 0 {
 		return meta, errors.New("record: trailing bytes after snapshot tables")
 	}
 	for i, tbl := range tbls {
-		if err := tbl.LoadRows(batches[i]); err != nil {
+		if err := tbl.LoadVersions(batches[i], borns[i], deads[i]); err != nil {
 			return meta, err
 		}
 	}

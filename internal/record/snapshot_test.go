@@ -65,7 +65,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != meta {
+	if got.Version != meta.Version || got.Seq != meta.Seq || got.MaxTstamp != meta.MaxTstamp {
 		t.Fatalf("meta = %+v, want %+v", got, meta)
 	}
 	srcTbls, dstTbls := src.snapshotTables(), dst.snapshotTables()

@@ -34,11 +34,15 @@ type Catalog interface {
 // which advances at commit boundaries, so Snapshot can pin a consistent view
 // of every table at once.
 type Database struct {
-	mu      sync.RWMutex
-	tables  map[string]*Table
-	virtual map[string]VirtualTable
-	epoch   atomic.Int64 // committed epoch; rows written now belong to epoch+1
-	pins    atomic.Int64 // live (unreleased) snapshot pins
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	virtual  map[string]VirtualTable
+	epoch    atomic.Int64 // committed epoch; rows written now belong to epoch+1
+	minEpoch atomic.Int64 // retention floor; epochs below it are retired
+	pins     atomic.Int64 // live (unreleased) snapshot pins
+
+	pinMu  sync.Mutex    // guards pinned; acquired after mu when both are held
+	pinned map[int64]int // live pin count per epoch, for the GC retention floor
 }
 
 // NewDatabase creates an empty database at epoch 0.
@@ -46,6 +50,7 @@ func NewDatabase() *Database {
 	return &Database{
 		tables:  make(map[string]*Table),
 		virtual: make(map[string]VirtualTable),
+		pinned:  make(map[int64]int),
 	}
 }
 
@@ -84,7 +89,17 @@ func (db *Database) SnapshotLatest() *Snapshot { return db.snapshotAt(db.epoch.L
 func (db *Database) snapshotAt(epoch int64) *Snapshot {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.snapshotLocked(epoch)
+}
+
+// snapshotLocked pins under db.mu (read or write side), which excludes GCBelow:
+// the pin is registered before GCBelow can recompute the floor, so a snapshot
+// returned from here is never pruned underneath its reader.
+func (db *Database) snapshotLocked(epoch int64) *Snapshot {
 	db.pins.Add(1)
+	db.pinMu.Lock()
+	db.pinned[epoch]++
+	db.pinMu.Unlock()
 	s := &Snapshot{
 		db:      db,
 		epoch:   epoch,
@@ -235,6 +250,19 @@ func (s *Snapshot) Release() {
 	}
 	if s.released.CompareAndSwap(false, true) {
 		s.db.pins.Add(-1)
+		s.db.unpin(s.epoch)
+	}
+}
+
+// unpin retires one per-epoch pin registration. Dropping a pin can only raise
+// the oldest-pin floor, so it needs no coordination with GCBelow beyond pinMu.
+func (db *Database) unpin(epoch int64) {
+	db.pinMu.Lock()
+	defer db.pinMu.Unlock()
+	if n := db.pinned[epoch]; n <= 1 {
+		delete(db.pinned, epoch)
+	} else {
+		db.pinned[epoch] = n - 1
 	}
 }
 

@@ -43,7 +43,11 @@ type Table struct {
 // (copy-on-write), so a pinned state is immutable in the strongest sense
 // and readers need no atomics.
 type tableState struct {
-	rows []Row   // RowID-indexed; never nil'd — deletes set a tombstone epoch
+	// rows is RowID-indexed. Deletes set a tombstone epoch rather than
+	// removing the row; the epoch-retention GC (pruneBelow) may nil out the
+	// payload of versions tombstoned at or below the retention floor, which
+	// are invisible at every queryable epoch, so no reader dereferences them.
+	rows []Row
 	born []int64 // epoch at which the row became visible
 	dead []int64 // 0 = live; otherwise the epoch at which the row was deleted
 	live int     // live rows in the latest view (tombstones excluded)
@@ -150,6 +154,97 @@ func (t *Table) LoadRows(rows []Row) error {
 	}
 	t.state.Store(ns)
 	return nil
+}
+
+// Versions exposes the published row store verbatim: every version with its
+// born/dead epochs, including tombstoned versions older snapshots may still
+// need. Versions reclaimed by the retention GC have a nil row. The returned
+// slices are the live backing arrays — callers must not mutate them. The
+// snapshot writer uses this to persist full MVCC history, not just the
+// latest-visible rows.
+func (t *Table) Versions() (rows []Row, born, dead []int64) {
+	st := t.state.Load()
+	return st.rows, st.born, st.dead
+}
+
+// LoadVersions bulk-appends rows carrying explicit born/dead epochs — the
+// recovery path for version-preserving snapshots. Unlike LoadRows it does not
+// stamp the current write epoch: each version keeps the epochs it had when the
+// snapshot was written, so time-travel reads after recovery see exactly the
+// history that was persisted. Rows must be non-nil (the snapshot writer folds
+// reclaimed versions out instead of persisting nils).
+func (t *Table) LoadVersions(rows []Row, born, dead []int64) error {
+	if len(born) != len(rows) || len(dead) != len(rows) {
+		return fmt.Errorf("table %s: version arity mismatch: %d rows, %d born, %d dead",
+			t.name, len(rows), len(born), len(dead))
+	}
+	width := t.schema.Len()
+	live := 0
+	for i, r := range rows {
+		if r == nil {
+			return fmt.Errorf("table %s: version %d has nil row", t.name, i)
+		}
+		if len(r) != width {
+			return fmt.Errorf("table %s: row %d arity %d != schema arity %d", t.name, i, len(r), width)
+		}
+		if dead[i] == 0 {
+			live++
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state.Load()
+	start := RowID(len(st.rows))
+	ns := &tableState{
+		rows:    append(st.rows, rows...),
+		born:    append(st.born, born...),
+		dead:    append(st.dead, dead...),
+		live:    st.live + live,
+		indexes: st.indexes,
+		ordered: st.ordered,
+	}
+	for _, ix := range ns.indexes {
+		ix.bulkAdd(start, rows)
+	}
+	for _, ix := range ns.ordered {
+		ix.bulkAdd(start, rows)
+	}
+	t.state.Store(ns)
+	return nil
+}
+
+// pruneBelow publishes a state whose row payloads are nil'd for versions
+// tombstoned at or below the retention floor. Such versions are invisible at
+// every epoch >= floor — and the owning database refuses snapshots below the
+// floor — so no reader of this or any later state can reach them. Snapshots
+// pinned before the prune keep their own (immutable) state and are unaffected.
+// Born/dead arrays and RowIDs are preserved so index entries stay valid.
+// It returns the number of versions reclaimed by this call.
+func (t *Table) pruneBelow(floor int64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state.Load()
+	n := 0
+	for id := range st.rows {
+		if st.rows[id] != nil && st.dead[id] != 0 && st.dead[id] <= floor {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	rows := make([]Row, len(st.rows))
+	copy(rows, st.rows)
+	for id := range rows {
+		if st.dead[id] != 0 && st.dead[id] <= floor {
+			rows[id] = nil
+		}
+	}
+	t.state.Store(&tableState{
+		rows: rows, born: st.born, dead: st.dead, live: st.live,
+		indexes: st.indexes, ordered: st.ordered,
+	})
+	return n
 }
 
 // InsertMany inserts a batch of rows, stopping at the first error.

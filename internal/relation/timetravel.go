@@ -1,0 +1,163 @@
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEpochRetired is the sentinel for time-travel reads below the retention
+// floor: the epoch-retention GC has dropped (or may have dropped) row versions
+// the query would need, so the read is refused rather than answered wrong.
+// Match with errors.Is; the concrete error is an *EpochRetiredError carrying
+// the floor so callers can echo it (the HTTP layer returns it in the 400 body).
+var ErrEpochRetired = errors.New("relation: epoch retired by retention GC")
+
+// EpochRetiredError reports an AS OF epoch below the retention floor.
+type EpochRetiredError struct {
+	Epoch int64 // the requested epoch
+	Floor int64 // the current retention floor (lowest queryable epoch)
+}
+
+func (e *EpochRetiredError) Error() string {
+	return fmt.Sprintf("relation: epoch %d retired by retention GC (floor %d)", e.Epoch, e.Floor)
+}
+
+// Unwrap makes errors.Is(err, ErrEpochRetired) work.
+func (e *EpochRetiredError) Unwrap() error { return ErrEpochRetired }
+
+// TimeTraveler is a catalog that can rebase itself at a historical epoch. Both
+// Database and Snapshot implement it, so the SQL executor can honor an
+// `AS OF <epoch>` clause against either without knowing which it was given.
+type TimeTraveler interface {
+	Catalog
+	// AsOf returns a catalog view pinned at the given epoch and a release
+	// function the caller must invoke when done with it (it may be a no-op).
+	AsOf(epoch int64) (Catalog, func(), error)
+}
+
+// MinEpoch returns the retention floor: the lowest epoch time-travel reads may
+// still target. Epochs below it are retired.
+func (db *Database) MinEpoch() int64 { return db.minEpoch.Load() }
+
+// SetEpoch positions the committed-epoch counter during recovery, before the
+// database is shared with readers: snapshot-loaded rows carry their historical
+// born/dead epochs, and tail replay advances from the snapshot's epoch so the
+// recovered database counts exactly the commit records of its whole history.
+func (db *Database) SetEpoch(epoch int64) { db.epoch.Store(epoch) }
+
+// SetMinEpoch raises the retention floor without pruning anything — recovery
+// uses it to restore a floor persisted by an earlier GC run. It never lowers
+// the floor.
+func (db *Database) SetMinEpoch(floor int64) {
+	for {
+		cur := db.minEpoch.Load()
+		if floor <= cur || db.minEpoch.CompareAndSwap(cur, floor) {
+			return
+		}
+	}
+}
+
+// SnapshotAt pins an immutable, consistent view of all tables at the given
+// historical epoch. It refuses epochs above the committed epoch (the future)
+// and epochs below the retention floor (retired by GC, typed ErrEpochRetired).
+// The caller must Release the snapshot; while pinned, the epoch-retention GC
+// will not raise the floor past it.
+func (db *Database) SnapshotAt(epoch int64) (*Snapshot, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if cur := db.epoch.Load(); epoch > cur {
+		return nil, fmt.Errorf("relation: epoch %d not committed yet (committed epoch is %d)", epoch, cur)
+	}
+	if epoch < 0 {
+		return nil, fmt.Errorf("relation: epoch must be non-negative, got %d", epoch)
+	}
+	if floor := db.minEpoch.Load(); epoch < floor {
+		return nil, &EpochRetiredError{Epoch: epoch, Floor: floor}
+	}
+	return db.snapshotLocked(epoch), nil
+}
+
+// OldestPin returns the lowest epoch with a live pin, or math.MaxInt64 when
+// nothing is pinned. The epoch-retention GC clamps its floor to it.
+func (db *Database) OldestPin() int64 {
+	db.pinMu.Lock()
+	defer db.pinMu.Unlock()
+	oldest := int64(math.MaxInt64)
+	for e := range db.pinned {
+		if e < oldest {
+			oldest = e
+		}
+	}
+	return oldest
+}
+
+// GCBelow retires epochs below the requested floor: it clamps the floor to the
+// committed epoch, the oldest live pin, and the current floor (the floor never
+// moves backwards), publishes the clamped floor, and rewrites every table's
+// row store dropping versions both born and tombstoned below it. It returns
+// the number of row versions reclaimed and the floor actually applied.
+//
+// Holding db.mu for writing excludes concurrent snapshotLocked calls, so no
+// reader can pin an epoch below the new floor while the floor is moving.
+func (db *Database) GCBelow(floor int64) (reclaimed int, applied int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if cur := db.epoch.Load(); floor > cur {
+		floor = cur
+	}
+	db.pinMu.Lock()
+	for e := range db.pinned {
+		if e < floor {
+			floor = e
+		}
+	}
+	db.pinMu.Unlock()
+	if m := db.minEpoch.Load(); floor < m {
+		floor = m
+	}
+	db.minEpoch.Store(floor)
+	for _, t := range db.tables {
+		reclaimed += t.pruneBelow(floor)
+	}
+	return reclaimed, floor
+}
+
+// AsOf implements TimeTraveler for the live database: a real pin at the
+// historical epoch, released by the returned function.
+func (db *Database) AsOf(epoch int64) (Catalog, func(), error) {
+	snap, err := db.SnapshotAt(epoch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, snap.Release, nil
+}
+
+// AsOf implements TimeTraveler for an already-pinned snapshot. Rebasing to the
+// snapshot's own epoch is free; rebasing lower takes a fresh pin from the
+// owning database, which is equivalent to narrowing this snapshot's
+// visibility: table states only grow, and versions pruned by GC are dead at or
+// below the retention floor — invisible at every queryable epoch either way.
+// Rebasing above the pinned epoch is refused: a pinned view must not leak
+// commits from after its pin.
+func (s *Snapshot) AsOf(epoch int64) (Catalog, func(), error) {
+	if epoch == s.epoch {
+		return s, func() {}, nil
+	}
+	if epoch > s.epoch {
+		return nil, nil, fmt.Errorf("relation: epoch %d is beyond this snapshot (pinned at %d)", epoch, s.epoch)
+	}
+	if s.db == nil {
+		return nil, nil, fmt.Errorf("relation: snapshot is detached, cannot rebase to epoch %d", epoch)
+	}
+	snap, err := s.db.SnapshotAt(epoch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, snap.Release, nil
+}
+
+var (
+	_ TimeTraveler = (*Database)(nil)
+	_ TimeTraveler = (*Snapshot)(nil)
+)

@@ -1,0 +1,224 @@
+package relation
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// travelDB builds k=1..n committed one row per epoch: after this, epoch e
+// sees exactly rows 1..e.
+func travelDB(t *testing.T, n int) (*Database, *Table) {
+	t.Helper()
+	db, tbl := snapDB(t)
+	for i := 1; i <= n; i++ {
+		if _, err := tbl.Insert(Row{Int(int64(i)), Text("r")}); err != nil {
+			t.Fatal(err)
+		}
+		db.AdvanceEpoch()
+	}
+	return db, tbl
+}
+
+func TestSnapshotAtSeesHistoricalPrefix(t *testing.T) {
+	db, _ := travelDB(t, 5)
+	for e := int64(0); e <= 5; e++ {
+		snap, err := db.SnapshotAt(e)
+		if err != nil {
+			t.Fatalf("SnapshotAt(%d): %v", e, err)
+		}
+		r, _ := snap.Reader("t")
+		if got := len(r.Rows()); got != int(e) {
+			t.Fatalf("epoch %d sees %d rows, want %d", e, got, e)
+		}
+		if snap.Epoch() != e {
+			t.Fatalf("snap.Epoch() = %d, want %d", snap.Epoch(), e)
+		}
+		snap.Release()
+	}
+}
+
+func TestSnapshotAtRejectsFutureAndNegative(t *testing.T) {
+	db, _ := travelDB(t, 2)
+	if _, err := db.SnapshotAt(3); err == nil {
+		t.Fatal("future epoch accepted")
+	}
+	if _, err := db.SnapshotAt(-1); err == nil {
+		t.Fatal("negative epoch accepted")
+	}
+}
+
+func TestGCBelowRetiresEpochsAndReclaimsTombstones(t *testing.T) {
+	db, tbl := snapDB(t)
+	id, _ := tbl.Insert(Row{Int(1), Text("doomed")})
+	db.AdvanceEpoch() // epoch 1
+	tbl.Delete(id)
+	db.AdvanceEpoch() // epoch 2
+	tbl.Insert(Row{Int(2), Text("alive")})
+	db.AdvanceEpoch() // epoch 3
+
+	reclaimed, applied := db.GCBelow(3)
+	if applied != 3 {
+		t.Fatalf("applied floor = %d, want 3", applied)
+	}
+	if reclaimed != 1 {
+		t.Fatalf("reclaimed = %d, want 1 (the born-and-tombstoned version)", reclaimed)
+	}
+	if db.MinEpoch() != 3 {
+		t.Fatalf("MinEpoch = %d, want 3", db.MinEpoch())
+	}
+
+	// Retired epochs answer with the typed error carrying the floor.
+	_, err := db.SnapshotAt(2)
+	if !errors.Is(err, ErrEpochRetired) {
+		t.Fatalf("SnapshotAt(2) after GC: %v, want ErrEpochRetired", err)
+	}
+	var retired *EpochRetiredError
+	if !errors.As(err, &retired) || retired.Floor != 3 || retired.Epoch != 2 {
+		t.Fatalf("typed error = %+v", retired)
+	}
+
+	// The floor epoch itself stays queryable and correct.
+	snap, err := db.SnapshotAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	r, _ := snap.Reader("t")
+	if got := len(r.Rows()); got != 1 {
+		t.Fatalf("floor epoch rows = %d, want 1", got)
+	}
+}
+
+func TestGCBelowClampsToOldestPin(t *testing.T) {
+	db, _ := travelDB(t, 5)
+	snap, err := db.SnapshotAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.OldestPin(); got != 2 {
+		t.Fatalf("OldestPin = %d, want 2", got)
+	}
+
+	if _, applied := db.GCBelow(4); applied != 2 {
+		t.Fatalf("GC with live pin at 2 applied floor %d, want clamp to 2", applied)
+	}
+	// The pinned epoch must remain readable.
+	r, _ := snap.Reader("t")
+	if got := len(r.Rows()); got != 2 {
+		t.Fatalf("pinned snapshot rows = %d, want 2", got)
+	}
+	snap.Release()
+	if got := db.OldestPin(); got != math.MaxInt64 {
+		t.Fatalf("OldestPin after release = %d, want MaxInt64", got)
+	}
+
+	// With the pin gone the floor advances; it never moves backwards.
+	if _, applied := db.GCBelow(4); applied != 4 {
+		t.Fatalf("GC after release applied %d, want 4", applied)
+	}
+	if _, applied := db.GCBelow(1); applied != 4 {
+		t.Fatalf("GC below current floor applied %d, want unchanged 4", applied)
+	}
+}
+
+func TestGCBelowClampsToCommittedEpoch(t *testing.T) {
+	db, _ := travelDB(t, 2)
+	if _, applied := db.GCBelow(10); applied != 2 {
+		t.Fatalf("GC above committed epoch applied %d, want clamp to 2", applied)
+	}
+}
+
+func TestSnapshotAsOfRebases(t *testing.T) {
+	db, _ := travelDB(t, 4)
+	snap, err := db.SnapshotAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+
+	// Same epoch: the snapshot itself, free.
+	same, release, err := snap.AsOf(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != Catalog(snap) {
+		t.Fatal("AsOf(own epoch) should return the snapshot itself")
+	}
+	release()
+
+	// Lower epoch: a fresh pin with narrowed visibility.
+	past, release, err := snap.AsOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := past.Reader("t")
+	if got := len(r.Rows()); got != 1 {
+		t.Fatalf("rebased rows = %d, want 1", got)
+	}
+	release()
+
+	// Above the pin: refused — a pinned view must not leak later commits.
+	if _, _, err := snap.AsOf(4); err == nil {
+		t.Fatal("AsOf above the pinned epoch accepted")
+	}
+}
+
+func TestDatabaseAsOfPinsAndReleases(t *testing.T) {
+	db, _ := travelDB(t, 3)
+	before := db.Pins()
+	cat, release, err := db.AsOf(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Pins() != before+1 {
+		t.Fatalf("Pins = %d, want %d", db.Pins(), before+1)
+	}
+	r, _ := cat.Reader("t")
+	if got := len(r.Rows()); got != 2 {
+		t.Fatalf("rows = %d, want 2", got)
+	}
+	release()
+	if db.Pins() != before {
+		t.Fatalf("Pins after release = %d, want %d", db.Pins(), before)
+	}
+}
+
+func TestSetMinEpochNeverLowers(t *testing.T) {
+	db, _ := travelDB(t, 3)
+	db.SetMinEpoch(2)
+	db.SetMinEpoch(1)
+	if got := db.MinEpoch(); got != 2 {
+		t.Fatalf("MinEpoch = %d, want 2", got)
+	}
+}
+
+// TestGCKeepsLiveRowsAndIndexes: pruning nils only dead payloads; live rows
+// and index lookups stay intact, and RowIDs remain stable.
+func TestGCKeepsLiveRowsAndIndexes(t *testing.T) {
+	db, tbl := snapDB(t)
+	if _, err := tbl.CreateHashIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	keep, _ := tbl.Insert(Row{Int(1), Text("keep")})
+	gone, _ := tbl.Insert(Row{Int(2), Text("gone")})
+	db.AdvanceEpoch()
+	tbl.Delete(gone)
+	db.AdvanceEpoch()
+
+	if reclaimed, _ := db.GCBelow(2); reclaimed != 1 {
+		t.Fatalf("reclaimed = %d, want 1", reclaimed)
+	}
+	got, ok := tbl.Get(keep)
+	if !ok || got[1].AsText() != "keep" {
+		t.Fatalf("live row damaged: %v %v", got, ok)
+	}
+	idx, ok := tbl.HashIndexOn("k")
+	if !ok {
+		t.Fatal("index lost")
+	}
+	ids := idx.Lookup(Int(1))
+	if len(ids) != 1 || ids[0] != keep {
+		t.Fatalf("index lookup = %v, want [%d]", ids, keep)
+	}
+}

@@ -43,6 +43,7 @@ type Primary struct {
 
 type followerAck struct {
 	acked int64 // highest segment seq the follower has applied
+	epoch int64 // highest commit epoch the follower has applied
 	seen  time.Time
 }
 
@@ -63,6 +64,7 @@ func NewPrimary(sess *flor.Session, blobs *storage.BlobStore) *Primary {
 		snapCRCs:  make(map[string]crcEntry),
 	}
 	sess.SetRetainFloor(p.RetainFloor)
+	sess.SetEpochAckFloor(p.EpochFloor)
 	return p
 }
 
@@ -118,14 +120,36 @@ func (p *Primary) RetainFloor() int64 {
 	return floor
 }
 
+// EpochFloor returns the lowest commit epoch a fresh follower has applied,
+// or MaxInt64 when no fresh follower exists — the contract
+// Session.SetEpochAckFloor expects. Epoch-retention GC clamps to it so
+// history a lagging replica still needs for AS OF answers is not reclaimed
+// out from under it.
+func (p *Primary) EpochFloor() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	floor := int64(math.MaxInt64)
+	ttl := p.followerTTL()
+	for id, f := range p.followers {
+		if time.Since(f.seen) > ttl {
+			delete(p.followers, id)
+			continue
+		}
+		if f.epoch < floor {
+			floor = f.epoch
+		}
+	}
+	return floor
+}
+
 // recordAck notes a follower poll: its identity, its applied-through
-// sequence, and freshness for the retention floor.
-func (p *Primary) recordAck(id string, acked int64) {
+// sequence and epoch, and freshness for the retention floors.
+func (p *Primary) recordAck(id string, acked, epoch int64) {
 	if id == "" {
 		return
 	}
 	p.mu.Lock()
-	p.followers[id] = followerAck{acked: acked, seen: time.Now()}
+	p.followers[id] = followerAck{acked: acked, epoch: epoch, seen: time.Now()}
 	p.mu.Unlock()
 }
 
@@ -209,12 +233,19 @@ func (p *Primary) stampSnapshot(sf storage.SnapshotFile) (FileEntry, error) {
 //
 //	follower=id  — follower identity for ack tracking
 //	acked=N      — highest segment the follower has applied (retention floor)
+//	epoch=E      — highest commit epoch the follower has applied (GC floor)
 //	have=N       — long-poll: block until a segment with Seq > N is sealed
 //	wait_ms=M    — long-poll budget (capped at 30s; 0 = answer immediately)
 func (p *Primary) handleManifest(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	if acked, err := strconv.ParseInt(q.Get("acked"), 10, 64); err == nil {
-		p.recordAck(q.Get("follower"), acked)
+		epoch, eerr := strconv.ParseInt(q.Get("epoch"), 10, 64)
+		if eerr != nil {
+			// Pre-epoch follower: report MaxInt64 so it never drags the GC
+			// floor (segment retention still protects its catch-up).
+			epoch = math.MaxInt64
+		}
+		p.recordAck(q.Get("follower"), acked, epoch)
 	}
 	have, _ := strconv.ParseInt(q.Get("have"), 10, 64)
 	waitMs, _ := strconv.ParseInt(q.Get("wait_ms"), 10, 64)

@@ -813,16 +813,23 @@ func TestReplicaEqualsPrimaryProperty(t *testing.T) {
 			fdir := t.TempDir()
 			ctx, cancel := context.WithCancel(context.Background())
 			defer cancel()
-			start := func() (*Follower, context.CancelFunc) {
+			// kill joins the Run goroutine before Close: a canceled-but-live
+			// follower can still install a fetched segment into fdir, and a
+			// successor starting concurrently would count that segment as
+			// applied (localHighWater) without its recovery having replayed
+			// it — one follower per directory at a time, like the flock
+			// discipline guarantees across processes.
+			start := func() (*Follower, context.CancelFunc, chan struct{}) {
 				fctx, fcancel := context.WithCancel(ctx)
 				f, err := StartFollower(fctx, e.cfg(fdir))
 				if err != nil {
 					t.Fatal(err)
 				}
-				go f.Run(fctx)
-				return f, fcancel
+				done := make(chan struct{})
+				go func() { defer close(done); f.Run(fctx) }()
+				return f, fcancel, done
 			}
-			f, fcancel := start()
+			f, fcancel, fdone := start()
 
 			for op := 0; op < 40; op++ {
 				switch r := rng.Intn(10); {
@@ -834,10 +841,11 @@ func TestReplicaEqualsPrimaryProperty(t *testing.T) {
 					}
 				case r < 9: // kill + restart the follower
 					fcancel()
+					<-fdone
 					if err := f.Close(); err != nil {
 						t.Fatal(err)
 					}
-					f, fcancel = start()
+					f, fcancel, fdone = start()
 				default: // kill + recover the primary
 					e.restart()
 				}
@@ -868,6 +876,7 @@ func TestReplicaEqualsPrimaryProperty(t *testing.T) {
 				time.Sleep(10 * time.Millisecond)
 			}
 			fcancel()
+			<-fdone
 			got := dump(f.Session())
 			assertSame(t, fmt.Sprintf("seed %d", seed), got, want)
 			if err := f.Close(); err != nil {

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	flor "flordb"
+	"flordb/internal/relation"
 	"flordb/internal/sqlparse"
 )
 
@@ -57,6 +59,10 @@ type Config struct {
 	// Health, when set, merges extra gauges into the /healthz payload
 	// (replication lag, shipping counters).
 	Health func(map[string]any)
+	// Logf receives server-side diagnostics that cannot reach the client —
+	// notably mid-stream encode failures after the 200 header is out.
+	// Defaults to log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -75,7 +81,17 @@ func (c Config) withDefaults() Config {
 	if c.GateRetryAfter <= 0 {
 		c.GateRetryAfter = time.Second
 	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
+}
+
+// retryAfterSecs renders GateRetryAfter for the Retry-After header, rounded
+// up to whole seconds. Both shedding paths (queue full, staleness gate) use
+// it, so operators tune one knob for client backoff.
+func (c Config) retryAfterSecs() string {
+	return strconv.FormatInt(int64((c.GateRetryAfter+time.Second-1)/time.Second), 10)
 }
 
 // Server serves the SQL-over-HTTP API for one session.
@@ -178,7 +194,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		if err != nil {
 			s.rejected.Add(1)
 			if errors.Is(err, errBusy) {
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", s.cfg.retryAfterSecs())
 				writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
 				return
 			}
@@ -189,8 +205,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		if s.cfg.Gate != nil {
 			if gerr := s.cfg.Gate(); gerr != nil {
 				s.rejected.Add(1)
-				secs := int64((s.cfg.GateRetryAfter + time.Second - 1) / time.Second)
-				w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				w.Header().Set("Retry-After", s.cfg.retryAfterSecs())
 				writeError(w, http.StatusServiceUnavailable, gerr.Error())
 				return
 			}
@@ -204,6 +219,43 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// reader pins the snapshot a query handler runs against: the latest committed
+// epoch by default, or the historical epoch named by ?as_of=. Asking for an
+// epoch retention GC already reclaimed is a client error, answered with 400
+// and the current retention floor so the client can re-aim.
+func (s *Server) reader(w http.ResponseWriter, r *http.Request) (*flor.SnapshotView, bool) {
+	raw := r.URL.Query().Get("as_of")
+	if raw == "" {
+		view, err := s.sess.Reader()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return nil, false
+		}
+		return view, true
+	}
+	epoch, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad as_of: "+raw+" (want a commit epoch)")
+		return nil, false
+	}
+	view, err := s.sess.ReaderAt(epoch)
+	if err != nil {
+		var retired *relation.EpochRetiredError
+		if errors.As(err, &retired) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error":                 err.Error(),
+				"retention_floor_epoch": retired.Floor,
+			})
+			return nil, false
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	return view, true
 }
 
 // queryParam extracts the SQL text from ?q= or a JSON body {"query": ...}.
@@ -231,9 +283,8 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	view, err := s.sess.Reader()
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+	view, ok := s.reader(w, r)
+	if !ok {
 		return
 	}
 	defer view.Close()
@@ -251,9 +302,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	view, err := s.sess.Reader()
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+	view, ok := s.reader(w, r)
+	if !ok {
 		return
 	}
 	defer view.Close()
@@ -284,9 +334,8 @@ func (s *Server) handleDataframe(w http.ResponseWriter, r *http.Request) {
 		}
 		tstamp = ts
 	}
-	view, err := s.sess.Reader()
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+	view, ok := s.reader(w, r)
+	if !ok {
 		return
 	}
 	defer view.Close()
@@ -309,6 +358,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queued":        len(s.queue),
 		"served":        s.served.Load(),
 		"rejected":      s.rejected.Load(),
+
+		"retention_floor_epoch": s.sess.RetentionFloor(),
+		"gc_rows_reclaimed":     s.sess.GCRowsReclaimed(),
 	}
 	if s.cfg.Health != nil {
 		s.cfg.Health(payload)
@@ -339,7 +391,22 @@ func (s *Server) streamResult(w http.ResponseWriter, epoch int64, res *sqlparse.
 		// Encoder appends a newline per value; inside the rows array that is
 		// harmless whitespace and keeps huge results line-splittable.
 		if err := enc.Encode(row); err != nil {
-			return // client went away; nothing sensible to send
+			// The 200 header is already on the wire, so the status code
+			// cannot signal failure. Emit a terminal sentinel object into the
+			// rows array and leave the JSON unterminated — strict clients
+			// fail to parse instead of silently consuming a truncated
+			// result — and log server-side (if the client simply went away,
+			// the sentinel is lost with the connection; the unterminated
+			// framing still marks the payload incomplete).
+			msg := fmt.Sprintf("result truncated: %d of %d rows sent: %v", i, len(res.Rows), err)
+			s.cfg.Logf("server: %s", msg)
+			if sentinel, merr := json.Marshal(map[string]string{"error": msg}); merr == nil {
+				fmt.Fprintf(w, ",%s", sentinel)
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
 		}
 		if flusher != nil && (i+1)%s.cfg.FlushEvery == 0 {
 			flusher.Flush()

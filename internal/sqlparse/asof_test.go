@@ -1,0 +1,205 @@
+package sqlparse
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"flordb/internal/relation"
+)
+
+func TestParseAsOfEpoch(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM logs WHERE tstamp = 1 AS OF 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.AsOf == nil || stmt.AsOf.ByTime || stmt.AsOf.Epoch != 7 {
+		t.Fatalf("AsOf = %+v, want epoch 7", stmt.AsOf)
+	}
+}
+
+func TestParseAsOfAfterLimit(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM logs ORDER BY tstamp LIMIT 5 OFFSET 1 AS OF 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.AsOf == nil || stmt.AsOf.Epoch != 2 || stmt.Limit != 5 || stmt.Offset != 1 {
+		t.Fatalf("stmt = limit %d offset %d asof %+v", stmt.Limit, stmt.Offset, stmt.AsOf)
+	}
+}
+
+func TestParseAsOfDirectlyAfterTable(t *testing.T) {
+	// `FROM t AS OF 3` must not read OF as a table alias.
+	stmt, err := Parse("SELECT * FROM logs AS OF 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From.Alias != "" || stmt.AsOf == nil || stmt.AsOf.Epoch != 3 {
+		t.Fatalf("alias %q asof %+v", stmt.From.Alias, stmt.AsOf)
+	}
+}
+
+func TestParseAsOfTimestamp(t *testing.T) {
+	for _, tc := range []struct {
+		lit  string
+		want time.Time
+	}{
+		{"2026-08-01T12:30:00Z", time.Date(2026, 8, 1, 12, 30, 0, 0, time.UTC)},
+		{"2026-08-01 12:30:00", time.Date(2026, 8, 1, 12, 30, 0, 0, time.UTC)},
+		{"2026-08-01", time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)},
+	} {
+		stmt, err := Parse("SELECT * FROM logs AS OF TIMESTAMP '" + tc.lit + "'")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.lit, err)
+		}
+		if stmt.AsOf == nil || !stmt.AsOf.ByTime || !stmt.AsOf.Time.Equal(tc.want) {
+			t.Fatalf("%s: AsOf = %+v, want %v", tc.lit, stmt.AsOf, tc.want)
+		}
+	}
+}
+
+func TestParseAsOfErrors(t *testing.T) {
+	for _, q := range []string{
+		"SELECT * FROM logs AS OF",
+		"SELECT * FROM logs AS OF 'x'",
+		"SELECT * FROM logs AS OF TIMESTAMP",
+		"SELECT * FROM logs AS OF TIMESTAMP 'not a time'",
+		"SELECT * FROM logs AS OF 1 AS OF 2",
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%q parsed without error", q)
+		}
+	}
+}
+
+// asofDB commits one logs row per epoch so epoch e sees rows 1..e.
+func asofDB(t *testing.T) *relation.Database {
+	t.Helper()
+	db := relation.NewDatabase()
+	logs, err := db.CreateTable("logs", relation.MustSchema(
+		relation.Column{Name: "tstamp", Type: relation.TInt},
+		relation.Column{Name: "value", Type: relation.TText},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := logs.Insert(relation.Row{relation.Int(int64(i)), relation.Text("v")}); err != nil {
+			t.Fatal(err)
+		}
+		db.AdvanceEpoch()
+	}
+	return db
+}
+
+func TestExecuteAsOfRebasesEpoch(t *testing.T) {
+	db := asofDB(t)
+	for e := 0; e <= 4; e++ {
+		res, err := Run(db, "SELECT count(*) c FROM logs AS OF "+strconv.Itoa(e))
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		if got := res.Rows[0][0].AsInt(); got != int64(e) {
+			t.Fatalf("AS OF %d count = %d, want %d", e, got, e)
+		}
+	}
+	// Without AS OF: current visibility.
+	res, err := Run(db, "SELECT count(*) c FROM logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsInt(); got != 4 {
+		t.Fatalf("current count = %d, want 4", got)
+	}
+}
+
+func TestExecuteAsOfAgainstSnapshotRefusesFuture(t *testing.T) {
+	db := asofDB(t)
+	snap, err := db.SnapshotAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	if _, err := Run(snap, "SELECT * FROM logs AS OF 3"); err == nil {
+		t.Fatal("AS OF beyond the pinned snapshot accepted")
+	}
+	res, err := Run(snap, "SELECT count(*) c FROM logs AS OF 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsInt(); got != 1 {
+		t.Fatalf("rebased count = %d, want 1", got)
+	}
+}
+
+func TestExecuteAsOfRetiredEpoch(t *testing.T) {
+	db := asofDB(t)
+	db.GCBelow(3)
+	_, err := Run(db, "SELECT * FROM logs AS OF 1")
+	if !errors.Is(err, relation.ErrEpochRetired) {
+		t.Fatalf("err = %v, want ErrEpochRetired", err)
+	}
+}
+
+func TestExecuteAsOfByTimeNeedsSession(t *testing.T) {
+	db := asofDB(t)
+	_, err := Run(db, "SELECT * FROM logs AS OF TIMESTAMP '2026-08-01'")
+	if err == nil || !strings.Contains(err.Error(), "session") {
+		t.Fatalf("err = %v, want session-required error", err)
+	}
+}
+
+// TestPlanCacheAsOfBypass is the pollution regression: unique-literal AS OF
+// queries must not insert into the cache or evict hot entries, and must not
+// count toward hit/miss stats.
+func TestPlanCacheAsOfBypass(t *testing.T) {
+	c := NewPlanCache(2)
+	hot1, hot2 := "SELECT a FROM t", "SELECT b FROM t"
+	s1, err := c.Parse(hot1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Parse(hot2); err != nil {
+		t.Fatal(err)
+	}
+
+	for epoch := 0; epoch < 100; epoch++ {
+		stmt, err := c.Parse("SELECT a FROM t AS OF " + strconv.Itoa(epoch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stmt.AsOf == nil || stmt.AsOf.Epoch != int64(epoch) {
+			t.Fatalf("AsOf = %+v", stmt.AsOf)
+		}
+	}
+
+	if c.Len() != 2 {
+		t.Fatalf("cache len = %d after AS OF storm, want 2", c.Len())
+	}
+	s1again, err := c.Parse(hot1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1again != s1 {
+		t.Fatal("hot entry evicted by AS OF queries")
+	}
+	// 3 hot parses: 2 misses (first sights) + 1 hit; the 100 AS OF parses
+	// contribute nothing.
+	if hits, misses := c.Stats(); hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 1 / 2", hits, misses)
+	}
+}
+
+// TestPlanCacheParseErrorNotAMiss: a parse error must not inflate the miss
+// counter — misses measure effectiveness on parseable queries.
+func TestPlanCacheParseErrorNotAMiss(t *testing.T) {
+	c := NewPlanCache(2)
+	if _, err := c.Parse("SELEC nonsense"); err == nil {
+		t.Fatal("garbage parsed")
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("stats after parse error = %d hits / %d misses, want 0 / 0", hits, misses)
+	}
+}

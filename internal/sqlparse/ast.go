@@ -2,6 +2,7 @@ package sqlparse
 
 import (
 	"strings"
+	"time"
 
 	"flordb/internal/relation"
 )
@@ -199,6 +200,20 @@ type SelectStmt struct {
 	OrderBy  []OrderItem
 	Limit    int64 // -1 when absent
 	Offset   int64
+	// AsOf pins the whole statement (all scanned tables) at a historical
+	// epoch; nil means current visibility.
+	AsOf *AsOfClause
+}
+
+// AsOfClause is the time-travel clause at the end of a SELECT:
+// `AS OF <epoch>` names an MVCC commit epoch directly; `AS OF TIMESTAMP
+// '<ts>'` names a commit wall-clock time, which the session resolves to the
+// greatest epoch committed at or before it (via the persisted
+// epoch↔timestamp map) before execution.
+type AsOfClause struct {
+	Epoch  int64
+	Time   time.Time
+	ByTime bool
 }
 
 // HasAggregates reports whether any select item or HAVING clause contains an

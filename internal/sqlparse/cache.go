@@ -45,7 +45,11 @@ func NewPlanCache(capacity int) *PlanCache {
 
 // Parse returns the parsed statement for the query text, consulting the
 // cache first. Parse errors are not cached (they are cheap to reproduce and
-// callers rarely retry identical garbage).
+// callers rarely retry identical garbage) and do not count as misses — the
+// miss counter measures cache effectiveness on parseable queries, not input
+// quality. AS OF statements are parsed but never inserted: their epoch (or
+// timestamp) literal makes the raw text near-unique per request, and caching
+// them would evict the hot dashboard queries the cache exists for.
 func (c *PlanCache) Parse(query string) (*SelectStmt, error) {
 	c.mu.Lock()
 	if e, ok := c.items[query]; ok {
@@ -55,20 +59,26 @@ func (c *PlanCache) Parse(query string) (*SelectStmt, error) {
 		c.mu.Unlock()
 		return stmt, nil
 	}
-	c.misses++
 	c.mu.Unlock()
 
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
+	if stmt.AsOf != nil {
+		// Time-travel statements bypass the cache entirely: no insert, no
+		// stats. The parse is the price of the unique literal.
+		return stmt, nil
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[query]; ok { // raced with another parser; keep theirs
 		c.moveToFront(e)
+		c.hits++
 		return e.stmt, nil
 	}
+	c.misses++
 	e := &cacheEntry{key: query, stmt: stmt}
 	c.items[query] = e
 	c.pushFront(e)

@@ -40,6 +40,24 @@ func ExecuteScan(cat relation.Catalog, stmt *SelectStmt) (*Result, error) {
 }
 
 func execute(cat relation.Catalog, stmt *SelectStmt, naive bool) (*Result, error) {
+	if stmt.AsOf != nil {
+		if stmt.AsOf.ByTime {
+			// Timestamp resolution needs the session's epoch↔timestamp map;
+			// flor.Session rewrites ByTime clauses into epoch form before
+			// executing. Reaching here means the statement bypassed it.
+			return nil, fmt.Errorf("sql: AS OF TIMESTAMP requires a session to resolve the timestamp to an epoch")
+		}
+		tt, ok := cat.(relation.TimeTraveler)
+		if !ok {
+			return nil, fmt.Errorf("sql: this catalog does not support AS OF")
+		}
+		pinned, release, err := tt.AsOf(stmt.AsOf.Epoch)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		cat = pinned
+	}
 	ctx := &execCtx{}
 	in, inNode, err := planInput(cat, stmt, ctx, naive)
 	if err != nil {

@@ -41,6 +41,7 @@ var keywords = map[string]bool{
 	"JOIN": true, "ON": true, "INNER": true, "LIKE": true, "IS": true,
 	"ASC": true, "DESC": true, "DISTINCT": true, "HAVING": true,
 	"IN": true, "BETWEEN": true, "EXPLAIN": true,
+	"OF": true, "TIMESTAMP": true,
 }
 
 // Lex tokenizes a SQL string. It returns an error with byte position for

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"flordb/internal/relation"
 )
@@ -197,7 +198,54 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			stmt.Offset = m
 		}
 	}
+
+	// AS OF <epoch> | AS OF TIMESTAMP '<ts>' — last clause of the statement.
+	if p.accept(TokKeyword, "AS") {
+		if _, err := p.expect(TokKeyword, "OF"); err != nil {
+			return nil, err
+		}
+		if p.accept(TokKeyword, "TIMESTAMP") {
+			t, err := p.expect(TokString, "")
+			if err != nil {
+				return nil, err
+			}
+			ts, err := parseSQLTimestamp(t.Text)
+			if err != nil {
+				return nil, p.errf("AS OF TIMESTAMP: %v", err)
+			}
+			stmt.AsOf = &AsOfClause{Time: ts, ByTime: true}
+		} else {
+			n, err := p.parseIntLiteral()
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, p.errf("AS OF epoch must be non-negative, got %d", n)
+			}
+			stmt.AsOf = &AsOfClause{Epoch: n}
+		}
+	}
 	return stmt, nil
+}
+
+// sqlTimestampLayouts are tried in order by parseSQLTimestamp. Layouts
+// without a zone are interpreted as UTC, matching the UTC wall clocks
+// commit records carry.
+var sqlTimestampLayouts = []string{
+	time.RFC3339Nano,
+	time.RFC3339,
+	"2006-01-02 15:04:05.999999999",
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+}
+
+func parseSQLTimestamp(s string) (time.Time, error) {
+	for _, layout := range sqlTimestampLayouts {
+		if ts, err := time.ParseInLocation(layout, s, time.UTC); err == nil {
+			return ts, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("unrecognized timestamp %q (want RFC3339 or '2006-01-02 15:04:05')", s)
 }
 
 func (p *parser) parseIntLiteral() (int64, error) {
@@ -218,7 +266,10 @@ func (p *parser) parseTableRef() (TableRef, error) {
 		return TableRef{}, err
 	}
 	tr := TableRef{Name: id.Text}
-	if p.accept(TokKeyword, "AS") {
+	if p.at(TokKeyword, "AS") && p.toks[p.i+1].Kind == TokKeyword && p.toks[p.i+1].Text == "OF" {
+		// `FROM t AS OF ...` — leave the AS for the statement-level AS OF
+		// clause rather than mis-reading OF as an alias.
+	} else if p.accept(TokKeyword, "AS") {
 		alias, err := p.expect(TokIdent, "")
 		if err != nil {
 			return TableRef{}, err

@@ -104,10 +104,11 @@ func (c *Compactor) Compact() (CompactStats, error) {
 	if err != nil {
 		return stats, err
 	}
-	base, maxTs, newestSeq, err := loadNewestSnapshot(walPath, tables)
+	baseMeta, newestSeq, err := loadNewestSnapshot(walPath, tables)
 	if err != nil {
 		return stats, err
 	}
+	base, maxTs := baseMeta.Seq, baseMeta.MaxTstamp
 	if base < newestSeq {
 		// A newer snapshot exists but is unreadable. If its covered segments
 		// are gone, compacting from this base would bake the loss into a new
@@ -119,7 +120,23 @@ func (c *Compactor) Compact() (CompactStats, error) {
 	}
 
 	if base < upto {
-		err := replaySealed(walPath, base, upto, func(rec any) error {
+		// Epoch continuity: the fresh database starts at the base snapshot's
+		// committed epoch and advances once per replayed commit record —
+		// exactly the accounting the live session, recovery, and replica
+		// apply all use — so every delta row is stamped with the epoch it was
+		// originally committed under and AS OF answers survive compaction.
+		db.SetEpoch(baseMeta.Epoch)
+		epochs := NewEpochIndex()
+		epochs.Load(baseMeta.Epochs)
+		// The retention floor is the larger of what the base snapshot already
+		// folded and what the last GC run persisted: versions tombstoned at
+		// or below it are dropped from the new snapshot for good.
+		retention, err := ReadRetention(walPath)
+		if err != nil {
+			return stats, err
+		}
+		minEpoch := max(baseMeta.MinEpoch, retention.MinEpoch)
+		err = replaySealed(walPath, base, upto, func(rec any) error {
 			ts, err := ApplyRecovered(rec, tables, c.Blobs, c.RootTarget)
 			if err != nil {
 				return err
@@ -127,12 +144,19 @@ func (c *Compactor) Compact() (CompactStats, error) {
 			if ts > maxTs {
 				maxTs = ts
 			}
+			if cr, ok := rec.(*record.CommitRecord); ok {
+				epochs.Note(db.AdvanceEpoch(), cr.Wall)
+			}
 			return nil
 		})
 		if err != nil {
 			return stats, err
 		}
-		meta := record.SnapshotMeta{Version: record.SnapshotVersion, Seq: upto, MaxTstamp: maxTs}
+		epochs.TrimBelow(minEpoch)
+		meta := record.SnapshotMeta{
+			Version: record.SnapshotVersion, Seq: upto, MaxTstamp: maxTs,
+			Epoch: db.Epoch(), MinEpoch: minEpoch, Epochs: epochs.Stamps(),
+		}
 		if err := c.writeSnapshot(walPath, meta, tables); err != nil {
 			return stats, err
 		}

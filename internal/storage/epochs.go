@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"flordb/internal/record"
+)
+
+// EpochIndex is the in-memory epoch↔commit-timestamp map behind
+// `AS OF TIMESTAMP` resolution. Every commit appends one stamp (the epoch the
+// commit published and its wall-clock time); resolution binary-searches for
+// the greatest epoch committed at or before the requested time. The index is
+// persisted in snapshot meta (record.SnapshotMeta.Epochs) and rebuilt through
+// WAL replay, which carries the commit wall clock in each commit record.
+type EpochIndex struct {
+	mu     sync.Mutex
+	stamps []record.EpochStamp // ascending Epoch; nondecreasing Wall
+}
+
+// NewEpochIndex returns an empty index.
+func NewEpochIndex() *EpochIndex { return &EpochIndex{} }
+
+// Load replaces the index contents with stamps recovered from snapshot meta.
+func (x *EpochIndex) Load(stamps []record.EpochStamp) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.stamps = append(x.stamps[:0], stamps...)
+}
+
+// Note records the wall-clock time of the commit that published epoch.
+// Out-of-order or duplicate epochs are ignored; wall clocks are clamped to be
+// nondecreasing so resolution can binary-search them even across a clock step.
+func (x *EpochIndex) Note(epoch int64, wall time.Time) {
+	w := wall.UnixNano()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if n := len(x.stamps); n > 0 {
+		if epoch <= x.stamps[n-1].Epoch {
+			return
+		}
+		if w < x.stamps[n-1].Wall {
+			w = x.stamps[n-1].Wall
+		}
+	}
+	x.stamps = append(x.stamps, record.EpochStamp{Epoch: epoch, Wall: w})
+}
+
+// Resolve returns the greatest epoch whose commit happened at or before ts.
+// ok is false when ts precedes every retained stamp — the caller decides
+// whether that means "the empty database at epoch 0" (nothing was ever
+// committed or retired before ts) or an epoch below the retention floor.
+func (x *EpochIndex) Resolve(ts time.Time) (epoch int64, ok bool) {
+	w := ts.UnixNano()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	i := sort.Search(len(x.stamps), func(i int) bool { return x.stamps[i].Wall > w })
+	if i == 0 {
+		return 0, false
+	}
+	return x.stamps[i-1].Epoch, true
+}
+
+// TrimBelow drops stamps for epochs below floor; the retention GC calls it so
+// the persisted map stays bounded by the retention window.
+func (x *EpochIndex) TrimBelow(floor int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	i := sort.Search(len(x.stamps), func(i int) bool { return x.stamps[i].Epoch >= floor })
+	if i > 0 {
+		x.stamps = append(x.stamps[:0], x.stamps[i:]...)
+	}
+}
+
+// Stamps returns a copy of the retained stamps, ascending by epoch — the
+// value persisted into snapshot meta.
+func (x *EpochIndex) Stamps() []record.EpochStamp {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]record.EpochStamp(nil), x.stamps...)
+}
+
+// RetentionManifest is the small durable sidecar recording the epoch
+// retention floor chosen by the last GC run. Compaction reads it to fold
+// retired versions out of the next snapshot, and recovery reads it so a
+// restarted session refuses AS OF below the floor even before any
+// post-GC snapshot exists.
+type RetentionManifest struct {
+	MinEpoch int64 `json:"min_epoch"`
+}
+
+// RetentionPath returns the manifest path for a WAL. The non-numeric suffix
+// keeps it invisible to the segment/snapshot listings.
+func RetentionPath(walPath string) string { return walPath + ".retention" }
+
+// WriteRetention durably replaces the retention manifest: tmp file, fsync,
+// rename, directory fsync — the same ordering discipline as snapshots.
+func WriteRetention(walPath string, m RetentionManifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("storage: retention manifest: %w", err)
+	}
+	path := RetentionPath(walPath)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: retention manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: retention manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: retention manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: retention manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: retention manifest: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadRetention loads the retention manifest; a missing file is a zero floor.
+func ReadRetention(walPath string) (RetentionManifest, error) {
+	var m RetentionManifest
+	data, err := os.ReadFile(RetentionPath(walPath))
+	if os.IsNotExist(err) {
+		return m, nil
+	}
+	if err != nil {
+		return m, fmt.Errorf("storage: retention manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("storage: retention manifest: %w", err)
+	}
+	return m, nil
+}

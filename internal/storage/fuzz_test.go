@@ -64,7 +64,7 @@ func FuzzWALReplay(f *testing.F) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, _ = RecoverTables(path, tables, nil, "", true)
+			_, _ = RecoverTables(path, tables, nil, "", true, RecoverHooks{})
 		}
 	})
 }

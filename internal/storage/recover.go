@@ -53,6 +53,27 @@ type RecoverResult struct {
 	// file; the session truncates the file to it so the uncommitted tail
 	// cannot be resurrected by a later commit.
 	ActiveCommittedLen int64
+	// Meta is the meta block of the snapshot that was loaded (zero when
+	// recovery fell back to a full replay): the epoch state a session must
+	// restore before tail replay advances it further.
+	Meta record.SnapshotMeta
+}
+
+// RecoverHooks lets the session observe epoch-relevant recovery events.
+// Either hook may be nil.
+type RecoverHooks struct {
+	// AfterSnapshot fires once, after a base snapshot loads and before tail
+	// replay begins. The session positions the MVCC epoch counter, the
+	// retention floor, and the epoch↔timestamp map from the meta here, so
+	// rows replayed from the tail are stamped with the epochs they were
+	// originally committed under.
+	AfterSnapshot func(meta record.SnapshotMeta)
+	// OnCommit fires for each commit record replayed from the tail, after
+	// the commit's records (the commit record included) were applied. The
+	// session advances the MVCC epoch here — one epoch per commit record,
+	// the same accounting the live commit path and replica apply use — so a
+	// recovered database reaches exactly the epoch of the one that crashed.
+	OnCommit func(rec *record.CommitRecord)
 }
 
 // loadNewestSnapshot loads the newest readable snapshot into tables,
@@ -63,10 +84,10 @@ type RecoverResult struct {
 // reports the coverage claimed by the newest snapshot *file*, loaded or not
 // — callers must verify the segments filling the gap up to it still exist
 // before trusting a fallback.
-func loadNewestSnapshot(walPath string, tables *record.Tables) (seq, maxTs, newestSeq int64, err error) {
+func loadNewestSnapshot(walPath string, tables *record.Tables) (meta record.SnapshotMeta, newestSeq int64, err error) {
 	snaps, err := ListSnapshots(walPath)
 	if err != nil {
-		return 0, 0, 0, err
+		return meta, 0, err
 	}
 	if len(snaps) > 0 {
 		newestSeq = snaps[len(snaps)-1].Seq
@@ -76,13 +97,13 @@ func loadNewestSnapshot(walPath string, tables *record.Tables) (seq, maxTs, newe
 		if rerr != nil {
 			continue
 		}
-		meta, rerr := record.ReadSnapshot(data, tables)
+		m, rerr := record.ReadSnapshot(data, tables)
 		if rerr != nil {
 			continue
 		}
-		return meta.Seq, meta.MaxTstamp, newestSeq, nil
+		return m, newestSeq, nil
 	}
-	return 0, 0, newestSeq, nil
+	return record.SnapshotMeta{}, newestSeq, nil
 }
 
 // RecoverTables rebuilds the tables from the newest valid snapshot plus the
@@ -93,14 +114,19 @@ func loadNewestSnapshot(walPath string, tables *record.Tables) (seq, maxTs, newe
 // fallback across deleted history is reported as an error rather than a
 // silently shrunken database. When strict is true, records after the last
 // commit in the stream are not applied.
-func RecoverTables(walPath string, tables *record.Tables, blobs *BlobStore, rootTarget string, strict bool) (RecoverResult, error) {
+func RecoverTables(walPath string, tables *record.Tables, blobs *BlobStore, rootTarget string, strict bool, hooks RecoverHooks) (RecoverResult, error) {
 	var res RecoverResult
-	seq, maxTs, newestSeq, err := loadNewestSnapshot(walPath, tables)
+	meta, newestSeq, err := loadNewestSnapshot(walPath, tables)
 	if err != nil {
 		return res, err
 	}
+	seq := meta.Seq
 	res.SnapshotSeq = seq
-	res.MaxTstamp = maxTs
+	res.MaxTstamp = meta.MaxTstamp
+	res.Meta = meta
+	if hooks.AfterSnapshot != nil {
+		hooks.AfterSnapshot(meta)
+	}
 	if seq < newestSeq {
 		// Fell back past the newest snapshot file: the records it covers are
 		// only recoverable if the sealed segments through newestSeq survive
@@ -121,6 +147,9 @@ func RecoverTables(walPath string, tables *record.Tables, blobs *BlobStore, root
 		res.Applied++
 		if ts > res.MaxTstamp {
 			res.MaxTstamp = ts
+		}
+		if cr, ok := rec.(*record.CommitRecord); ok && hooks.OnCommit != nil {
+			hooks.OnCommit(cr)
 		}
 		return nil
 	})

@@ -192,7 +192,7 @@ func TestCompactorSnapshotEqualsFullReplay(t *testing.T) {
 
 	// Expected state: full replay before compaction.
 	want := newTables(t)
-	if _, err := RecoverTables(path, want, nil, "", true); err != nil {
+	if _, err := RecoverTables(path, want, nil, "", true, RecoverHooks{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -212,7 +212,7 @@ func TestCompactorSnapshotEqualsFullReplay(t *testing.T) {
 	}
 
 	got := newTables(t)
-	res, err := RecoverTables(path, got, nil, "", true)
+	res, err := RecoverTables(path, got, nil, "", true, RecoverHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestCompactorIsIncrementalAndPrunes(t *testing.T) {
 	_ = stats
 	// Everything still recovers to 6 committed transactions of 2 logs each.
 	got := newTables(t)
-	if _, err := RecoverTables(path, got, nil, "", true); err != nil {
+	if _, err := RecoverTables(path, got, nil, "", true, RecoverHooks{}); err != nil {
 		t.Fatal(err)
 	}
 	if got.Logs.Len() != 12 {
@@ -281,7 +281,7 @@ func TestRecoverFallsBackFromCorruptSnapshot(t *testing.T) {
 	os.WriteFile(snaps[0].Path, data, 0o644)
 
 	got := newTables(t)
-	res, err := RecoverTables(path, got, nil, "", true)
+	res, err := RecoverTables(path, got, nil, "", true, RecoverHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestSegmentSequencesNeverRestart(t *testing.T) {
 		t.Fatalf("segments %v reuse sequences covered by snapshot %d", segs, stats.SnapshotSeq)
 	}
 	got := newTables(t)
-	if _, err := RecoverTables(path, got, nil, "", true); err != nil {
+	if _, err := RecoverTables(path, got, nil, "", true, RecoverHooks{}); err != nil {
 		t.Fatal(err)
 	}
 	if got.Logs.Len() != 5 {
@@ -359,7 +359,7 @@ func TestReplaySegmentsDetectsGap(t *testing.T) {
 		t.Fatal("segment gap must fail replay, not silently drop history")
 	}
 	got := newTables(t)
-	if _, err := RecoverTables(path, got, nil, "", true); err == nil {
+	if _, err := RecoverTables(path, got, nil, "", true, RecoverHooks{}); err == nil {
 		t.Fatal("recovery across a segment gap must error")
 	}
 }
@@ -381,7 +381,7 @@ func TestRecoveryRefusesFallbackOverDeletedSegments(t *testing.T) {
 	os.WriteFile(SnapshotPath(path, stats.SnapshotSeq), data, 0o644)
 
 	got := newTables(t)
-	if _, err := RecoverTables(path, got, nil, "", true); err == nil {
+	if _, err := RecoverTables(path, got, nil, "", true, RecoverHooks{}); err == nil {
 		t.Fatal("recovery must refuse to silently lose compacted history")
 	}
 	// Compaction must refuse for the same reason (it would bake the loss

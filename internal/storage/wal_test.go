@@ -136,7 +136,7 @@ func TestRecoverIntoTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RecoverTables(path, tables, nil, "", true)
+	res, err := RecoverTables(path, tables, nil, "", true, RecoverHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}

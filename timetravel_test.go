@@ -1,0 +1,370 @@
+// End-to-end tests for time-travel AS OF queries and epoch-retention GC:
+// epoch semantics across restart, compaction, replication-free GC cycles,
+// timestamp resolution, and a randomized prefix-equivalence property.
+package flor_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	flor "flordb"
+)
+
+// commitStep logs `perCommit` rows stamped with the commit's ordinal and
+// commits, so epoch e sees exactly the rows of commits 1..e.
+func commitStep(t *testing.T, s *flor.Session, ordinal, perCommit int) {
+	t.Helper()
+	for j := 0; j < perCommit; j++ {
+		s.Log("step", fmt.Sprintf("c%03d-%02d", ordinal, j))
+	}
+	if err := s.Commit("commit " + strconv.Itoa(ordinal)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stepsAsOf reads back the logged step values visible at the given epoch,
+// sorted, via a SQL AS OF query on a current reader.
+func stepsAsOf(t *testing.T, s *flor.Session, epoch int64) []string {
+	t.Helper()
+	res, err := s.SQL("SELECT value FROM logs WHERE value_name = 'step' AS OF " + strconv.FormatInt(epoch, 10))
+	if err != nil {
+		t.Fatalf("AS OF %d: %v", epoch, err)
+	}
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r[0].AsText()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expectSteps is the reference answer: the sorted step values of the first
+// e commits.
+func expectSteps(e, perCommit int) []string {
+	var out []string
+	for c := 1; c <= e; c++ {
+		for j := 0; j < perCommit; j++ {
+			out = append(out, fmt.Sprintf("c%03d-%02d", c, j))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertEpochsVisible(t *testing.T, s *flor.Session, upto, perCommit int) {
+	t.Helper()
+	floor := s.RetentionFloor()
+	for e := int(floor); e <= upto; e++ {
+		got := stepsAsOf(t, s, int64(e))
+		want := expectSteps(e, perCommit)
+		if len(got) != len(want) {
+			t.Fatalf("epoch %d: %d rows, want %d", e, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("epoch %d row %d: %q, want %q", e, i, got[i], want[i])
+			}
+		}
+		// ReaderAt agrees with the SQL AS OF path.
+		view, err := s.ReaderAt(int64(e))
+		if err != nil {
+			t.Fatalf("ReaderAt(%d): %v", e, err)
+		}
+		res, err := view.SQL("SELECT count(*) c FROM logs WHERE value_name = 'step'")
+		view.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0].AsInt(); got != int64(len(want)) {
+			t.Fatalf("ReaderAt(%d) count = %d, want %d", e, got, len(want))
+		}
+	}
+}
+
+func TestTimeTravelSurvivesRestartAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := flor.Open(dir, "tt", flor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFilename("train.go")
+	const commits, perCommit = 6, 3
+	for c := 1; c <= commits; c++ {
+		commitStep(t, s, c, perCommit)
+	}
+	if got := s.Database().Epoch(); got != commits {
+		t.Fatalf("epoch = %d, want %d", got, commits)
+	}
+	assertEpochsVisible(t, s, commits, perCommit)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: WAL replay must recount epochs commit by commit.
+	s, err = flor.Open(dir, "tt", flor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Database().Epoch(); got != commits {
+		t.Fatalf("epoch after restart = %d, want %d", got, commits)
+	}
+	assertEpochsVisible(t, s, commits, perCommit)
+
+	// Compact, add more history, restart again: the snapshot path must
+	// preserve per-version epochs and the epoch counter.
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFilename("train.go")
+	commitStep(t, s, commits+1, perCommit)
+	assertEpochsVisible(t, s, commits+1, perCommit)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = flor.Open(dir, "tt", flor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Database().Epoch(); got != commits+1 {
+		t.Fatalf("epoch after compact+restart = %d, want %d", got, commits+1)
+	}
+	assertEpochsVisible(t, s, commits+1, perCommit)
+}
+
+func TestAsOfTimestampResolvesToEpoch(t *testing.T) {
+	s, err := flor.OpenMemory("tt-ts", flor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetFilename("train.go")
+
+	var marks []time.Time // marks[i] = a wall instant after commit i+1
+	for c := 1; c <= 3; c++ {
+		commitStep(t, s, c, 1)
+		time.Sleep(5 * time.Millisecond)
+		marks = append(marks, time.Now().UTC())
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	for i, mark := range marks {
+		q := "SELECT count(*) c FROM logs WHERE value_name = 'step' AS OF TIMESTAMP '" +
+			mark.Format(time.RFC3339Nano) + "'"
+		res, err := s.SQL(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0].AsInt(); got != int64(i+1) {
+			t.Fatalf("timestamp after commit %d resolved to %d rows", i+1, got)
+		}
+	}
+
+	// A timestamp before all commits resolves to the empty epoch 0.
+	res, err := s.SQL("SELECT count(*) c FROM logs AS OF TIMESTAMP '2000-01-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsInt(); got != 0 {
+		t.Fatalf("ancient timestamp sees %d rows, want 0", got)
+	}
+}
+
+func TestGCEpochsRetiresHistory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := flor.Open(dir, "tt-gc", flor.Options{RetainEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFilename("train.go")
+	for c := 1; c <= 5; c++ {
+		commitStep(t, s, c, 2)
+	}
+
+	// A pin at epoch 1 clamps the floor.
+	pinned, err := s.ReaderAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.GCEpochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Floor != 1 {
+		t.Fatalf("floor with pin at 1 = %d, want 1", st.Floor)
+	}
+	pinned.Close()
+
+	// Unclamped: floor = epoch 5 - retain 2 = 3.
+	st, err = s.GCEpochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Floor != 3 {
+		t.Fatalf("floor = %d, want 3", st.Floor)
+	}
+	if s.RetentionFloor() != 3 {
+		t.Fatalf("RetentionFloor = %d", s.RetentionFloor())
+	}
+
+	// Retired epochs refuse with the typed sentinel, on both read paths.
+	if _, err := s.ReaderAt(2); !errors.Is(err, flor.ErrEpochRetired) {
+		t.Fatalf("ReaderAt(2) after GC: %v", err)
+	}
+	if _, err := s.SQL("SELECT * FROM logs AS OF 2"); !errors.Is(err, flor.ErrEpochRetired) {
+		t.Fatalf("SQL AS OF 2 after GC: %v", err)
+	}
+	assertEpochsVisible(t, s, 5, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The floor is persisted: a restarted session keeps refusing, and a
+	// compaction folds the retired versions out of the durable snapshot.
+	s, err = flor.Open(dir, "tt-gc", flor.Options{RetainEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.RetentionFloor(); got != 3 {
+		t.Fatalf("RetentionFloor after restart = %d, want 3", got)
+	}
+	if _, err := s.ReaderAt(2); !errors.Is(err, flor.ErrEpochRetired) {
+		t.Fatalf("ReaderAt(2) after restart: %v", err)
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	assertEpochsVisible(t, s, 5, 2)
+}
+
+// TestAsOfPrefixEquivalenceRandomized is the randomized property: under a
+// random interleaving of commits, compactions, GC cycles, and restarts,
+// AS OF e must equal the fully-replayed prefix at e for every retained
+// epoch, and every retired epoch must fail with ErrEpochRetired.
+func TestAsOfPrefixEquivalenceRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			s, err := flor.Open(dir, "tt-prop", flor.Options{RetainEpochs: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetFilename("train.go")
+			var perC []int // perC[c-1] = rows logged by commit c
+			for step := 0; step < 30; step++ {
+				switch r := rng.Intn(10); {
+				case r < 6: // commit
+					n := 1 + rng.Intn(3)
+					perC = append(perC, n)
+					commitStep(t, s, len(perC), n)
+				case r < 8: // compact
+					if _, err := s.Compact(); err != nil {
+						t.Fatal(err)
+					}
+				case r == 8: // GC
+					if _, err := s.GCEpochs(); err != nil {
+						t.Fatal(err)
+					}
+				default: // restart
+					if err := s.Close(); err != nil {
+						t.Fatal(err)
+					}
+					s, err = flor.Open(dir, "tt-prop", flor.Options{RetainEpochs: 4})
+					if err != nil {
+						t.Fatal(err)
+					}
+					s.SetFilename("train.go")
+				}
+
+				commits := int64(len(perC))
+				if got := s.Database().Epoch(); got != commits {
+					t.Fatalf("step %d: epoch %d, want %d commits", step, got, commits)
+				}
+				floor := s.RetentionFloor()
+				for e := int64(0); e <= commits; e++ {
+					if e < floor {
+						if _, err := s.ReaderAt(e); !errors.Is(err, flor.ErrEpochRetired) {
+							t.Fatalf("step %d: retired epoch %d gave %v", step, e, err)
+						}
+						continue
+					}
+					got := stepsAsOf(t, s, e)
+					// The fully-replayed prefix at e: every row of commits 1..e.
+					var want []string
+					for c := 1; c <= int(e); c++ {
+						for j := 0; j < perC[c-1]; j++ {
+							want = append(want, fmt.Sprintf("c%03d-%02d", c, j))
+						}
+					}
+					sort.Strings(want)
+					if len(got) != len(want) {
+						t.Fatalf("step %d epoch %d: %d rows, want %d", step, e, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("step %d epoch %d row %d: %q != %q", step, e, i, got[i], want[i])
+						}
+					}
+				}
+			}
+			s.Close()
+		})
+	}
+}
+
+// TestTimeTravelLargeProjectAcrossCompaction is the scale acceptance: a
+// project with 100k logged rows over 10 commits answers correctly at all 10
+// historical epochs after `flordb compact`-equivalent compaction.
+func TestTimeTravelLargeProjectAcrossCompaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-row project; skipped with -short")
+	}
+	dir := t.TempDir()
+	s, err := flor.Open(dir, "tt-big", flor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFilename("train.go")
+	const commits, perCommit = 10, 10_000
+	for c := 1; c <= commits; c++ {
+		for j := 0; j < perCommit; j++ {
+			s.Log("metric", c*perCommit+j)
+		}
+		if err := s.Commit("bulk " + strconv.Itoa(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = flor.Open(dir, "tt-big", flor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Database().Epoch(); got != commits {
+		t.Fatalf("epoch = %d, want %d", got, commits)
+	}
+	for e := 1; e <= commits; e++ {
+		res, err := s.SQL("SELECT count(*) c FROM logs WHERE value_name = 'metric' AS OF " + strconv.Itoa(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0].AsInt(); got != int64(e*perCommit) {
+			t.Fatalf("epoch %d: count = %d, want %d", e, got, e*perCommit)
+		}
+	}
+}
