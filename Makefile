@@ -54,9 +54,14 @@ repl-matrix:
 
 # bench runs every benchmark once and snapshots the machine-readable output
 # to BENCH_latest.json; CI uploads it as an artifact so the perf trajectory
-# is tracked per PR. bench-full measures at default benchtime for local use.
+# is tracked per PR. The C17 parallel-scan benchmarks are re-run under
+# -cpu=1,2,4,8 so the snapshot carries per-GOMAXPROCS entries — cmd/benchdiff
+# keys multi-cpu benchmarks by their -N suffix and gates each like-for-like.
+# bench-full measures at default benchtime for local use.
 bench:
 	go test -run '^$$' -bench . -benchmem -count=1 -benchtime 1x -json . > BENCH_latest.json \
+		|| { cat BENCH_latest.json; exit 1; }
+	go test -run '^$$' -bench '^BenchmarkC17' -cpu 1,2,4,8 -benchmem -count=1 -benchtime 1x -json . >> BENCH_latest.json \
 		|| { cat BENCH_latest.json; exit 1; }
 	@echo "wrote BENCH_latest.json ($$(grep -c 'ns/op' BENCH_latest.json) benchmark results)"
 
@@ -73,4 +78,5 @@ bench-gate:
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzRecordDecode$$' -fuzztime 10s ./internal/record
 	go test -run '^$$' -fuzz '^FuzzSnapshotRead$$' -fuzztime 10s ./internal/record
+	go test -run '^$$' -fuzz '^FuzzColumnarPageRead$$' -fuzztime 10s ./internal/record
 	go test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime 10s ./internal/storage

@@ -670,6 +670,79 @@ func BenchmarkC14FilterProjectRowBaseline(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// C17 — morsel-driven parallel scan + zone-map pruning. BenchmarkC17* run
+// under `-cpu=1,2,4,8` in `make bench`: sqlparse.Execute sizes its worker
+// pool from GOMAXPROCS, so the suffixed entries in the snapshot measure
+// parallel scaling like-for-like (cmd/benchdiff keeps the -N suffix when a
+// benchmark appears under several). The selective-scan variant reports how
+// many zone pages the scan pruned vs decoded; the acceptance bar is
+// decoding <20% of pages on the clustered-predicate shape.
+// ---------------------------------------------------------------------------
+
+func BenchmarkC17ParallelScanAggregate(b *testing.B) {
+	benchC14(b, c14AggQuery, c14Names, false)
+}
+
+func BenchmarkC17ParallelFilterProject(b *testing.B) {
+	benchC14(b, c14FilterQuery, 900, false)
+}
+
+// benchC17ClusteredDB is benchC14DB with a monotonic tstamp, the clustered
+// shape zone maps prune best: consecutive pages hold disjoint tstamp ranges.
+func benchC17ClusteredDB(b *testing.B) *relation.Database {
+	b.Helper()
+	db := relation.NewDatabase()
+	t, err := db.CreateTable("metrics", relation.MustSchema(
+		relation.Column{Name: "projid", Type: relation.TText},
+		relation.Column{Name: "tstamp", Type: relation.TInt},
+		relation.Column{Name: "name", Type: relation.TText},
+		relation.Column{Name: "value", Type: relation.TFloat},
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]relation.Row, 0, c14Tstamps*c14Names)
+	for i := 0; i < c14Tstamps*c14Names; i++ {
+		rows = append(rows, relation.Row{
+			relation.Text("bench"), relation.Int(int64(i)),
+			relation.Text(fmt.Sprintf("metric_%d", i%c14Names)),
+			relation.Float(float64(i%1000) / 1000),
+		})
+	}
+	if err := t.LoadRows(rows); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkC17ZoneMapSelectiveScan(b *testing.B) {
+	db := benchC17ClusteredDB(b)
+	stmt, err := sqlparse.Parse(
+		"SELECT tstamp, value FROM metrics WHERE tstamp BETWEEN 90000 AND 90999")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p0, d0 := relation.ScanStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sqlparse.Execute(db, stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1000 {
+			b.Fatalf("rows = %d, want 1000", len(res.Rows))
+		}
+	}
+	b.StopTimer()
+	p1, d1 := relation.ScanStats()
+	pruned, decoded := float64(p1-p0), float64(d1-d0)
+	if pruned+decoded > 0 {
+		b.ReportMetric(decoded/float64(b.N), "pages-decoded/op")
+		b.ReportMetric(decoded/(pruned+decoded), "decoded-frac")
+	}
+}
+
+// ---------------------------------------------------------------------------
 // C11 — session startup: cold O(history) WAL replay vs snapshot-accelerated
 // recovery (load newest snapshot + replay the WAL tail) over a 100k-record
 // history. The paper's checkpoint/replay design applied to metadata state.

@@ -22,11 +22,29 @@ import (
 
 // BenchResult is one benchmark's measured numbers from a snapshot.
 type BenchResult struct {
-	Name        string // GOMAXPROCS suffix stripped: BenchmarkX, not BenchmarkX-8
+	Name        string // see CPUSuffixMode for how the -N GOMAXPROCS suffix is keyed
 	NsPerOp     float64
 	AllocsPerOp float64
 	HasAllocs   bool
 }
+
+// CPUSuffixMode controls how the `-N` GOMAXPROCS suffix on benchmark names
+// is folded into snapshot keys.
+type CPUSuffixMode int
+
+const (
+	// CPUAuto keeps the suffix only for benchmarks that appear under more
+	// than one distinct suffix within the same snapshot — i.e. ones run with
+	// `-cpu=1,8` to measure parallel scaling. A benchmark measured at a
+	// single GOMAXPROCS keeps the historical stripped key, so snapshots
+	// taken on hosts with different core counts still compare.
+	CPUAuto CPUSuffixMode = iota
+	// CPUKeep always keys by the full suffixed name.
+	CPUKeep
+	// CPUStrip always strips the suffix (pre -cpu behavior): multi-cpu runs
+	// of one benchmark collapse into a single min-keeping entry.
+	CPUStrip
+)
 
 // Options tunes the comparison.
 type Options struct {
@@ -63,13 +81,19 @@ func (r *Report) Failed() bool { return len(r.Regressions) > 0 || len(r.Missing)
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
-// ParseSnapshot reads a benchmark snapshot in `go test -json` form (a
+// ParseSnapshot is ParseSnapshotMode with CPUAuto, the mode `make
+// bench-gate` runs with.
+func ParseSnapshot(r io.Reader) (map[string]BenchResult, error) {
+	return ParseSnapshotMode(r, CPUAuto)
+}
+
+// ParseSnapshotMode reads a benchmark snapshot in `go test -json` form (a
 // stream of JSON events whose Output fields carry fragments of the
 // benchmark text — a single result line is usually split across several
 // events) or plain `go test -bench` text. Benchmarks measured more than
-// once keep their best (minimum) ns/op and allocs/op — the stable lower
-// envelope.
-func ParseSnapshot(r io.Reader) (map[string]BenchResult, error) {
+// once under the same key keep their best (minimum) ns/op and allocs/op —
+// the stable lower envelope. mode picks the key for `-cpu` runs.
+func ParseSnapshotMode(r io.Reader, mode CPUSuffixMode) (map[string]BenchResult, error) {
 	// Reconstruct the textual benchmark output. JSON events concatenate in
 	// stream order, so joining their Output fields reproduces the exact
 	// text `go test -bench` would have printed.
@@ -98,11 +122,29 @@ func ParseSnapshot(r io.Reader) (map[string]BenchResult, error) {
 		return nil, err
 	}
 
-	out := make(map[string]BenchResult)
+	// First pass keeps full names and tallies the distinct GOMAXPROCS
+	// suffixes per stripped name, so CPUAuto can tell a `-cpu=1,8` scaling
+	// run (keep the suffix, compare like-for-like) from a plain run (strip
+	// it, stay host-portable).
+	var results []BenchResult
+	suffixes := make(map[string]map[string]bool)
 	for _, line := range strings.Split(text.String(), "\n") {
 		res, ok := parseBenchLine(line)
 		if !ok {
 			continue
+		}
+		results = append(results, res)
+		base := gomaxprocsSuffix.ReplaceAllString(res.Name, "")
+		if suffixes[base] == nil {
+			suffixes[base] = make(map[string]bool)
+		}
+		suffixes[base][strings.TrimPrefix(res.Name, base)] = true
+	}
+	out := make(map[string]BenchResult)
+	for _, res := range results {
+		base := gomaxprocsSuffix.ReplaceAllString(res.Name, "")
+		if mode == CPUStrip || (mode == CPUAuto && len(suffixes[base]) < 2) {
+			res.Name = base
 		}
 		if prev, seen := out[res.Name]; seen {
 			if prev.NsPerOp < res.NsPerOp {
@@ -118,7 +160,8 @@ func ParseSnapshot(r io.Reader) (map[string]BenchResult, error) {
 }
 
 // parseBenchLine parses one `BenchmarkName-8  100  123 ns/op  4 B/op  2
-// allocs/op` line. Custom metrics (e.g. fsyncs/commit) are ignored.
+// allocs/op` line, keeping the full (suffixed) name. Custom metrics (e.g.
+// fsyncs/commit) are ignored.
 func parseBenchLine(line string) (BenchResult, bool) {
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -127,7 +170,7 @@ func parseBenchLine(line string) (BenchResult, bool) {
 	if _, err := strconv.Atoi(fields[1]); err != nil {
 		return BenchResult{}, false // not an iteration count: a status line
 	}
-	res := BenchResult{Name: gomaxprocsSuffix.ReplaceAllString(fields[0], "")}
+	res := BenchResult{Name: fields[0]}
 	found := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

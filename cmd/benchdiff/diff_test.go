@@ -65,6 +65,64 @@ func TestParseSnapshotKeepsBestOfRepeatedRuns(t *testing.T) {
 	}
 }
 
+func benchCPU(name string, cpu int, ns float64, allocs int) string {
+	return fmt.Sprintf("%s-%d   \\t     100\\t  %g ns/op\\t  512 B/op\\t  %d allocs/op", name, cpu, ns, allocs)
+}
+
+// TestParseSnapshotMixedCPUSuffixes pins the -cpu keying: a benchmark run
+// under `-cpu=1,8` keeps per-suffix entries (so a parallel-scaling
+// regression at 8 cores can't hide behind a fast single-core number), while
+// single-suffix benchmarks in the same snapshot keep the portable stripped
+// key — and CPUKeep/CPUStrip force either behavior.
+func TestParseSnapshotMixedCPUSuffixes(t *testing.T) {
+	snap := jsonSnapshot(
+		benchCPU("BenchmarkC17ParallelScan", 1, 8000000, 900),
+		benchCPU("BenchmarkC17ParallelScan", 8, 1500000, 1200),
+		bench("BenchmarkC8PointQuery", 365000, 1066), // single suffix (-8)
+	)
+	m := parse(t, snap)
+	if r, ok := m["BenchmarkC17ParallelScan-1"]; !ok || r.NsPerOp != 8e6 {
+		t.Fatalf("cpu=1 entry not kept separately: %+v (ok=%v) in %v", r, ok, m)
+	}
+	if r, ok := m["BenchmarkC17ParallelScan-8"]; !ok || r.NsPerOp != 1.5e6 {
+		t.Fatalf("cpu=8 entry not kept separately: %+v (ok=%v)", r, ok)
+	}
+	if _, collapsed := m["BenchmarkC17ParallelScan"]; collapsed {
+		t.Fatal("multi-cpu benchmark also collapsed into a stripped key")
+	}
+	if r, ok := m["BenchmarkC8PointQuery"]; !ok || r.NsPerOp != 365000 {
+		t.Fatalf("single-cpu benchmark lost its stripped key: %+v (ok=%v)", r, ok)
+	}
+
+	strip, err := ParseSnapshotMode(strings.NewReader(snap), CPUStrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := strip["BenchmarkC17ParallelScan"]; !ok || r.NsPerOp != 1.5e6 || r.AllocsPerOp != 900 {
+		t.Fatalf("CPUStrip should min-collapse the suffixes: %+v (ok=%v)", r, ok)
+	}
+	keep, err := ParseSnapshotMode(strings.NewReader(snap), CPUKeep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := keep["BenchmarkC8PointQuery-8"]; !ok {
+		t.Fatalf("CPUKeep should key the single-cpu benchmark by suffix too: %v", keep)
+	}
+
+	// Like-for-like gating: an 8-core regression with an unchanged 1-core
+	// number must fail under auto keying (it would vanish under CPUStrip's
+	// min-collapse, because the fast 1-core min masks it).
+	cur := parse(t, jsonSnapshot(
+		benchCPU("BenchmarkC17ParallelScan", 1, 8000000, 900),
+		benchCPU("BenchmarkC17ParallelScan", 8, 6000000, 1200), // 4x slower at 8 cores
+		bench("BenchmarkC8PointQuery", 365000, 1066),
+	))
+	rep := Compare(m, cur, DefaultOptions())
+	if !rep.Failed() || len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "BenchmarkC17ParallelScan-8") {
+		t.Fatalf("8-core regression not flagged like-for-like: %+v", rep)
+	}
+}
+
 func TestCompareFlagsRegression(t *testing.T) {
 	base := parse(t, jsonSnapshot(bench("BenchmarkHot", 1000000, 100)))
 	// 26% slower: beyond the 25% gate.
@@ -163,12 +221,12 @@ func TestGateFailsOnSyntheticallyRegressedSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer devnull.Close()
-	if err := run(basePath, latestPath, DefaultOptions(), devnull); err == nil {
+	if err := run(basePath, latestPath, DefaultOptions(), CPUAuto, devnull); err == nil {
 		t.Fatal("gate passed a 3x regression")
 	}
 	// The identical snapshot passes.
 	writeFile(t, latestPath, baseline)
-	if err := run(basePath, latestPath, DefaultOptions(), devnull); err != nil {
+	if err := run(basePath, latestPath, DefaultOptions(), CPUAuto, devnull); err != nil {
 		t.Fatalf("gate failed identical snapshots: %v", err)
 	}
 }

@@ -13,23 +13,41 @@ func main() {
 		maxRegress   = flag.Float64("max-regress", 0.25, "tolerated fractional regression on ns/op and allocs/op")
 		floorNs      = flag.Float64("floor-ns", 1000, "skip ns/op comparison when both sides are below this (single-iteration noise)")
 		allocSlack   = flag.Float64("alloc-slack", 2, "absolute allocs/op increase tolerated on top of the fraction")
+		cpuMode      = flag.String("cpu", "auto", "GOMAXPROCS suffix handling: auto (keep only for multi-cpu runs), keep, strip")
 	)
 	flag.Parse()
+	mode, err := parseCPUMode(*cpuMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	opts := Options{MaxRegress: *maxRegress, FloorNs: *floorNs, AllocSlack: *allocSlack}
-	if err := run(*baselinePath, *latestPath, opts, os.Stdout); err != nil {
+	if err := run(*baselinePath, *latestPath, opts, mode, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
+func parseCPUMode(s string) (CPUSuffixMode, error) {
+	switch s {
+	case "auto":
+		return CPUAuto, nil
+	case "keep":
+		return CPUKeep, nil
+	case "strip":
+		return CPUStrip, nil
+	}
+	return CPUAuto, fmt.Errorf("benchdiff: -cpu must be auto, keep, or strip (got %q)", s)
+}
+
 // run loads both snapshots, compares them, renders the report, and returns
 // an error when the gate should fail the build.
-func run(baselinePath, latestPath string, opts Options, out *os.File) error {
-	baseline, err := loadSnapshot(baselinePath)
+func run(baselinePath, latestPath string, opts Options, mode CPUSuffixMode, out *os.File) error {
+	baseline, err := loadSnapshot(baselinePath, mode)
 	if err != nil {
 		return err
 	}
-	latest, err := loadSnapshot(latestPath)
+	latest, err := loadSnapshot(latestPath, mode)
 	if err != nil {
 		return err
 	}
@@ -42,13 +60,13 @@ func run(baselinePath, latestPath string, opts Options, out *os.File) error {
 	return nil
 }
 
-func loadSnapshot(path string) (map[string]BenchResult, error) {
+func loadSnapshot(path string, mode CPUSuffixMode) (map[string]BenchResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("benchdiff: %w", err)
 	}
 	defer f.Close()
-	snap, err := ParseSnapshot(f)
+	snap, err := ParseSnapshotMode(f, mode)
 	if err != nil {
 		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
 	}

@@ -272,6 +272,21 @@ func TestCrashInjectionCompactionKillPoints(t *testing.T) {
 		arm  func(c *storage.Compactor)
 	}{
 		{"none", func(c *storage.Compactor) {}},
+		// The v3 columnar writer streams one table section at a time, so a
+		// crash can leave a syntactically plausible prefix (magic + meta +
+		// some complete sections) with no CRC trailer. Kill after the first
+		// section and after the last to cover both truncation shapes.
+		{"mid snapshot write first table", func(c *storage.Compactor) {
+			c.MidSnapshotWrite = func(table string) error { return boom }
+		}},
+		{"mid snapshot write last table", func(c *storage.Compactor) {
+			c.MidSnapshotWrite = func(table string) error {
+				if table == "args" {
+					return boom
+				}
+				return nil
+			}
+		}},
 		{"after snapshot write", func(c *storage.Compactor) { c.AfterSnapshotWrite = func() error { return boom } }},
 		{"before rename", func(c *storage.Compactor) { c.BeforeRename = func() error { return boom } }},
 		{"after rename", func(c *storage.Compactor) { c.AfterRename = func() error { return boom } }},

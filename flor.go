@@ -108,6 +108,7 @@ type Session struct {
 	plans     *sqlparse.PlanCache
 	epochs    *storage.EpochIndex // epoch↔commit-timestamp map for AS OF TIMESTAMP
 	gcRows    atomic.Int64        // row versions reclaimed by GCEpochs since open
+	scanWkrs  int                 // Options.ScanWorkers (0 = GOMAXPROCS)
 
 	// Lifecycle: begin/end bracket every public operation so Close can
 	// refuse new work (ErrClosed) and drain what is in flight before
@@ -162,6 +163,10 @@ type Options struct {
 	// versions no retained epoch can see. 0 retains every epoch forever —
 	// GCEpochs is then a no-op.
 	RetainEpochs int
+	// ScanWorkers caps the worker pool SQL execution fans morsel-driven
+	// parallel scans out over. 0 uses GOMAXPROCS; 1 forces serial scans.
+	// The effective pool is min(GOMAXPROCS, ScanWorkers).
+	ScanWorkers int
 	// Stdout receives Flow script print output (nil = discard).
 	Stdout io.Writer
 }
@@ -284,6 +289,7 @@ func newSession(projid, dir string, wal *storage.WAL, walPath string, readOnly b
 		stdout:    opts.Stdout,
 		plans:     sqlparse.NewPlanCache(0),
 		epochs:    storage.NewEpochIndex(),
+		scanWkrs:  opts.ScanWorkers,
 	}
 	if s.stdout == nil {
 		s.stdout = io.Discard
@@ -999,7 +1005,18 @@ func (v *SnapshotView) SQL(query string) (*sqlparse.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sqlparse.Execute(v.snap, v.resolveAsOf(stmt))
+	return sqlparse.ExecuteOptions(v.snap, v.resolveAsOf(stmt), v.sess.execOptions())
+}
+
+// execOptions resolves the session's execution tuning.
+func (s *Session) execOptions() sqlparse.ExecOptions {
+	return sqlparse.ExecOptions{ScanWorkers: s.scanWkrs}
+}
+
+// ScanWorkers reports the effective parallel-scan worker pool size SQL
+// execution may fan out to (the /healthz scan_workers gauge).
+func (s *Session) ScanWorkers() int {
+	return sqlparse.EffectiveScanWorkers(s.scanWkrs)
 }
 
 // resolveAsOf rewrites an AS OF TIMESTAMP statement into epoch form using the
@@ -1042,7 +1059,7 @@ func (v *SnapshotView) Explain(query string) (string, error) {
 		clone.Explain = true
 		stmt = &clone
 	}
-	res, err := sqlparse.Execute(v.snap, stmt)
+	res, err := sqlparse.ExecuteOptions(v.snap, stmt, v.sess.execOptions())
 	if err != nil {
 		return "", err
 	}

@@ -4,7 +4,15 @@
 // O(live data) instead of O(total history) — the metadata-side analog of the
 // paper's checkpoint/replay design for training state (§2).
 //
-// Layout (all integers varint-encoded unless noted):
+// Two formats share the FLORSNAP container (magic, JSON meta, CRC-32C
+// trailer) and are dispatched on the meta version field:
+//
+//   - v3 (current, columnar): per-column pages with zone maps in a page
+//     directory; see snapshot_columnar.go for the layout.
+//   - v2 (legacy, row-oriented): still read for compatibility with
+//     pre-columnar snapshots, and writable via WriteSnapshotV2 for tests.
+//
+// v2 layout (all integers varint-encoded unless noted):
 //
 //	magic "FLORSNAP"
 //	uvarint meta length, meta JSON {"version","seq","max_tstamp",
@@ -48,11 +56,12 @@ import (
 	"flordb/internal/relation"
 )
 
-// SnapshotVersion is the current snapshot format version. Readers reject
-// snapshots from a different version (recovery then falls back to an older
-// snapshot or a full replay). Version 2 added per-version born/dead epochs
-// and the epoch/min_epoch/epochs meta fields for time travel.
-const SnapshotVersion = 2
+// SnapshotVersion is the current snapshot format version. Readers accept the
+// current version and v2 (recovery falls back to an older snapshot or a full
+// replay on anything else). Version 2 added per-version born/dead epochs and
+// the epoch/min_epoch/epochs meta fields for time travel; version 3 moved the
+// table sections to columnar pages with zone maps (snapshot_columnar.go).
+const SnapshotVersion = 3
 
 const snapshotMagic = "FLORSNAP"
 
@@ -102,9 +111,33 @@ func (d *snapDict) id(s string) uint64 {
 	return id
 }
 
-// WriteSnapshot serializes the tables to w. The caller owns durability
-// (buffering, fsync, atomic rename).
+// WriteSnapshot serializes the tables to w in the format named by
+// meta.Version (2 writes the legacy row-oriented layout; anything else writes
+// the current columnar layout). The caller owns durability (buffering, fsync,
+// atomic rename).
 func WriteSnapshot(w io.Writer, meta SnapshotMeta, t *Tables) error {
+	return WriteSnapshotHook(w, meta, t, nil)
+}
+
+// WriteSnapshotHook is WriteSnapshot with a test hook fired after each table
+// section reaches w — the crash-injection matrix uses it to kill the process
+// mid-file and prove recovery falls back cleanly. The hook is only fired on
+// the v3 path (v2 buffers all sections and writes them in one burst).
+func WriteSnapshotHook(w io.Writer, meta SnapshotMeta, t *Tables, hook func(table string) error) error {
+	if meta.Version == 2 {
+		return writeSnapshotV2(w, meta, t)
+	}
+	return writeSnapshotV3(w, meta, t, hook)
+}
+
+// WriteSnapshotV2 writes the legacy row-oriented format regardless of
+// meta.Version, for read-compatibility tests against the v3 reader.
+func WriteSnapshotV2(w io.Writer, meta SnapshotMeta, t *Tables) error {
+	meta.Version = 2
+	return writeSnapshotV2(w, meta, t)
+}
+
+func writeSnapshotV2(w io.Writer, meta SnapshotMeta, t *Tables) error {
 	// Encode the row sections into a buffer first, building the string
 	// dictionary as cells are visited; the file stores the dictionary ahead
 	// of the rows so the reader can resolve indexes in one pass.
@@ -236,22 +269,30 @@ func ReadSnapshot(data []byte, t *Tables) (SnapshotMeta, error) {
 	if err := json.Unmarshal(metaJSON, &meta); err != nil {
 		return meta, fmt.Errorf("record: snapshot meta: %w", err)
 	}
-	if meta.Version != SnapshotVersion {
+	switch meta.Version {
+	case 2:
+		return meta, readSnapshotV2(rd, t)
+	case SnapshotVersion:
+		return meta, readSnapshotV3(rd, t)
+	default:
 		return meta, fmt.Errorf("record: unsupported snapshot version %d", meta.Version)
 	}
+}
 
+// readSnapshotV2 decodes the legacy row-oriented table sections.
+func readSnapshotV2(rd *snapReader, t *Tables) error {
 	// Resolve the string dictionary: each distinct string is allocated once
 	// here; a text cell decode below is a bounds-checked slice index.
 	nDict := int(rd.uvarint())
 	if rd.err != nil || nDict < 0 || nDict > len(rd.buf) {
-		return meta, errors.New("record: snapshot dictionary out of range")
+		return errors.New("record: snapshot dictionary out of range")
 	}
 	dict := make([]string, nDict)
 	for i := range dict {
 		dict[i] = string(rd.bytes(int(rd.uvarint())))
 	}
 	if rd.err != nil {
-		return meta, rd.err
+		return rd.err
 	}
 
 	tbls := t.snapshotTables()
@@ -261,10 +302,10 @@ func ReadSnapshot(data []byte, t *Tables) (SnapshotMeta, error) {
 	for i, tbl := range tbls {
 		name := string(rd.bytes(int(rd.uvarint())))
 		if rd.err != nil {
-			return meta, rd.err
+			return rd.err
 		}
 		if name != tbl.Name() {
-			return meta, fmt.Errorf("record: snapshot table %q, want %q", name, tbl.Name())
+			return fmt.Errorf("record: snapshot table %q, want %q", name, tbl.Name())
 		}
 		n := int(rd.uvarint())
 		width := tbl.Schema().Len()
@@ -273,7 +314,7 @@ func ReadSnapshot(data []byte, t *Tables) (SnapshotMeta, error) {
 		// could overflow int on a crafted count and panic make below; the
 		// born/dead prefixes only make each version cost more).
 		if rd.err != nil || n < 0 || width <= 0 || n > len(rd.buf)/width {
-			return meta, errors.New("record: snapshot row count out of range")
+			return errors.New("record: snapshot row count out of range")
 		}
 		rows := make([]relation.Row, n)
 		born := make([]int64, n)
@@ -284,7 +325,7 @@ func ReadSnapshot(data []byte, t *Tables) (SnapshotMeta, error) {
 			born[j] = rd.varint()
 			dead[j] = rd.varint()
 			if rd.err == nil && (born[j] < 0 || dead[j] < 0 || (dead[j] != 0 && dead[j] < born[j])) {
-				return meta, fmt.Errorf("record: snapshot %s row %d: bad epochs born=%d dead=%d", name, j, born[j], dead[j])
+				return fmt.Errorf("record: snapshot %s row %d: bad epochs born=%d dead=%d", name, j, born[j], dead[j])
 			}
 			row := cells[j*width : (j+1)*width : (j+1)*width]
 			for k := range row {
@@ -293,31 +334,45 @@ func ReadSnapshot(data []byte, t *Tables) (SnapshotMeta, error) {
 				// mis-typed writer: reject wrong-typed cells here so a bad
 				// snapshot fails recovery cleanly (and falls back) instead
 				// of panicking later at query time.
-				col := schema.Col(k)
-				if row[k].IsNull() {
-					if col.NotNull && rd.err == nil {
-						return meta, fmt.Errorf("record: snapshot %s row %d: NULL in NOT NULL column %q", name, j, col.Name)
-					}
-				} else if row[k].Type() != col.Type && rd.err == nil {
-					return meta, fmt.Errorf("record: snapshot %s row %d: column %q holds %v, want %v", name, j, col.Name, row[k].Type(), col.Type)
+				if err := checkSnapCell(schema, k, &row[k], rd, name, j); err != nil {
+					return err
 				}
 			}
 			rows[j] = relation.Row(row)
 		}
 		if rd.err != nil {
-			return meta, rd.err
+			return rd.err
 		}
 		batches[i], borns[i], deads[i] = rows, born, dead
 	}
 	if len(rd.buf) != 0 {
-		return meta, errors.New("record: trailing bytes after snapshot tables")
+		return errors.New("record: trailing bytes after snapshot tables")
 	}
 	for i, tbl := range tbls {
 		if err := tbl.LoadVersions(batches[i], borns[i], deads[i]); err != nil {
-			return meta, err
+			return err
 		}
 	}
-	return meta, nil
+	return nil
+}
+
+// checkSnapCell validates a decoded cell against the schema column: type must
+// match and NOT NULL must hold. Decode errors already latched in rd win.
+func checkSnapCell(schema *relation.Schema, k int, v *relation.Value, rd *snapReader, table string, row int) error {
+	if rd.err != nil {
+		return nil // the latched decode error is reported by the caller
+	}
+	col := schema.Col(k)
+	if v.IsNull() {
+		if col.NotNull {
+			return fmt.Errorf("record: snapshot %s row %d: NULL in NOT NULL column %q", table, row, col.Name)
+		}
+		return nil
+	}
+	if v.Type() != col.Type {
+		return fmt.Errorf("record: snapshot %s row %d: column %q holds %v, want %v", table, row, col.Name, v.Type(), col.Type)
+	}
+	return nil
 }
 
 // snapReader is an error-latching cursor over the snapshot body.

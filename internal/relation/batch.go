@@ -197,6 +197,12 @@ type BatchScanOp struct {
 	st    *tableState
 	epoch int64
 	base  int
+	hi    int // exclusive scan bound; -1 = whole store (see SetRange)
+
+	// Zone-map pruning (nil = none): zoneFilter decides page skips, zones
+	// holds the table's cached page zones, resolved lazily with the state.
+	zoneFilter ZoneFilter
+	zones      []PageZone
 
 	// Fallback for readers without a published state.
 	rows []Row
@@ -209,11 +215,38 @@ func NewBatchScan(t TableReader, needed []int, size int) *BatchScanOp {
 	if size <= 0 {
 		size = DefaultBatchSize
 	}
-	return &BatchScanOp{src: t, schema: t.Schema(), needed: needed, size: size}
+	return &BatchScanOp{src: t, schema: t.Schema(), needed: needed, size: size, hi: -1}
 }
 
 // Schema implements BatchIterator.
 func (s *BatchScanOp) Schema() *Schema { return s.schema }
+
+// SetZoneFilter arms zone-map pruning: pages whose zones satisfy f are
+// skipped without transposing. Must be called before the first NextBatch.
+func (s *BatchScanOp) SetZoneFilter(f ZoneFilter) { s.zoneFilter = f }
+
+// SetRange restricts the scan to row-store positions [lo, hi) and rewinds
+// the cursor, so one scan operator (and the pipeline compiled on top of it)
+// can be re-armed per morsel by a parallel worker. Bounds are clamped to the
+// store at read time; page-aligned bounds keep zone pruning exact.
+func (s *BatchScanOp) SetRange(lo, hi int) {
+	s.base, s.hi = lo, hi
+}
+
+// StoreLen resolves the scan's backing state and returns the physical
+// row-store length the scan walks — including versions invisible at the
+// pinned epoch, unlike TableReader.Len. Parallel executors use it to carve
+// the store into page-aligned morsels: the store is append-only, so any
+// range valid against one worker's resolved state is valid against all.
+func (s *BatchScanOp) StoreLen() int {
+	if !s.resolved {
+		s.resolve()
+	}
+	if s.st != nil {
+		return len(s.st.rows)
+	}
+	return len(s.rows)
+}
 
 func (s *BatchScanOp) resolve() {
 	s.resolved = true
@@ -235,6 +268,13 @@ func (s *BatchScanOp) resolve() {
 	}
 	if bp, ok := s.src.(batchStater); ok {
 		s.st, s.epoch = bp.batchState()
+		if s.zoneFilter != nil {
+			if zt, ok := s.src.(zoneTabler); ok {
+				if t := zt.zoneTable(); t != nil {
+					s.zones = t.zonePages(s.st)
+				}
+			}
+		}
 		return
 	}
 	s.rows = s.src.Rows() // already visibility-filtered
@@ -245,36 +285,46 @@ func (s *BatchScanOp) NextBatch() (*Batch, bool) {
 	if !s.resolved {
 		s.resolve()
 	}
+	var store []Row
+	if s.st != nil {
+		store = s.st.rows
+	} else {
+		store = s.rows
+	}
+	limit := len(store)
+	if s.hi >= 0 && s.hi < limit {
+		limit = s.hi
+	}
 	for {
-		b := s.batch
-		var store []Row
-		if s.st != nil {
-			store = s.st.rows
-		} else {
-			store = s.rows
-		}
-		if s.base >= len(store) {
+		if s.base >= limit {
 			return nil, false
 		}
 		end := s.base + s.size
-		if end > len(store) {
-			end = len(store)
+		if end > limit {
+			end = limit
 		}
-		chunk := store[s.base:end]
-		n := len(chunk)
-		for _, j := range s.cols {
-			col := b.Cols[j][:s.size][:n]
-			for i, r := range chunk {
-				col[i] = r[j]
+		n := end - s.base
+		// Zone pruning: when the chunk is exactly one complete page, its
+		// cached zone can rule the whole page out — born after the pinned
+		// epoch, or outside the predicate's value bounds — before a single
+		// value is read. Conservative by construction (zonemap.go).
+		if s.zones != nil && s.base%ZonePageRows == 0 && n == ZonePageRows {
+			if p := s.base / ZonePageRows; p < len(s.zones) {
+				z := &s.zones[p]
+				if z.MinBorn > s.epoch || (s.zoneFilter != nil && s.zoneFilter(z)) {
+					zonePagesPruned.Add(1)
+					s.base = end
+					continue
+				}
 			}
-			b.Cols[j] = col
 		}
-		b.n = n
-		// Selection: row i is selected iff row store entry base+i is
-		// visible at the pinned epoch. The all-visible case (no tombstones,
-		// nothing newer than the epoch — the common shape for
-		// append-mostly tables) restores the identity selection with one
-		// copy instead of a per-row append loop.
+		b := s.batch
+		// Selection first: row i is selected iff row store entry base+i is
+		// visible at the pinned epoch. Computing it before the transpose
+		// means a chunk of pure tombstones (or rows born after an AS OF
+		// epoch) skips materialization entirely — the dead-epoch analog of
+		// zone pruning, sound against concurrent deletes because it reads
+		// this scan's own pinned state.
 		sel := b.Sel[:s.size][:n]
 		if s.st != nil {
 			born, dead := s.st.born[s.base:end], s.st.dead[s.base:end]
@@ -290,11 +340,25 @@ func (s *BatchScanOp) NextBatch() (*Batch, bool) {
 			copy(sel, s.identity[:n])
 			b.Sel = sel
 		}
-		s.base = end
-		if len(b.Sel) > 0 {
-			return b, true
+		if len(b.Sel) == 0 {
+			s.base = end
+			continue
 		}
-		// A chunk of pure tombstones: pull the next one.
+		// Transpose only the selected positions: visible rows are never
+		// GC-reclaimed (nil), and downstream operators read selected
+		// positions only (the batch ownership contract).
+		chunk := store[s.base:end]
+		for _, j := range s.cols {
+			col := b.Cols[j][:s.size][:n]
+			for _, i := range b.Sel {
+				col[i] = chunk[i][j]
+			}
+			b.Cols[j] = col
+		}
+		b.n = n
+		s.base = end
+		zonePagesDecoded.Add(1)
+		return b, true
 	}
 }
 
@@ -616,48 +680,6 @@ func (g *BatchGroupOp) Next() (Row, bool) {
 
 func (g *BatchGroupOp) run() {
 	h := newAggHash()
-	var keyBuf []byte
-	// Per-batch column slices, hoisted so the per-row loop does no
-	// double-indexed Cols lookups.
-	gcols := make([][]Value, len(g.groupPos))
-	acols := make([][]Value, len(g.aggs))
-	for {
-		b, ok := g.in.NextBatch()
-		if !ok {
-			break
-		}
-		h.sawAny = h.sawAny || len(b.Sel) > 0
-		for k, p := range g.groupPos {
-			gcols[k] = b.Cols[p]
-		}
-		for k, p := range g.aggPos {
-			if p >= 0 {
-				acols[k] = b.Cols[p]
-			}
-		}
-		for _, i := range b.Sel {
-			keyBuf = keyBuf[:0]
-			for _, col := range gcols {
-				keyBuf = col[i].appendKey(keyBuf)
-				keyBuf = append(keyBuf, '\x1f')
-			}
-			grp := h.find(keyBuf)
-			if grp == nil {
-				keyRow := make(Row, len(gcols))
-				for k, col := range gcols {
-					keyRow[k] = col[i]
-				}
-				grp = &aggGroup{key: keyRow, states: make([]aggState, len(g.aggs))}
-				h.insert(keyBuf, grp)
-			}
-			for k := range g.aggs {
-				if g.aggs[k].Kind == AggCountStar {
-					grp.states[k].count++
-					continue
-				}
-				grp.states[k].observe(g.aggs[k].Kind, &acols[k][i])
-			}
-		}
-	}
+	drainBatches(h, g.in, g.groupPos, g.aggPos, g.aggs)
 	g.results = h.finish(len(g.groupPos), g.aggs)
 }

@@ -34,6 +34,12 @@ type Table struct {
 
 	mu    sync.Mutex // serializes writers; readers never take it
 	state atomic.Pointer[tableState]
+
+	// zones caches per-page zone maps over the append-only prefix of the row
+	// store (see zonemap.go). Built lazily by predicate scans, seeded by the
+	// snapshot loader; derived purely from immutable data, so it is shared by
+	// every state and every pinned snapshot of the table.
+	zones atomic.Pointer[zoneCache]
 }
 
 // tableState is one published version of a table. All slices are append-only
@@ -405,7 +411,7 @@ func (t *Table) batchState() (*tableState, int64) { return t.state.Load(), lates
 // consistent immutable view. Most callers want Database.Snapshot, which pins
 // every table of a database at one epoch.
 func (t *Table) At(epoch int64) *TableSnapshot {
-	return &TableSnapshot{name: t.name, schema: t.schema, epoch: epoch, st: t.state.Load()}
+	return &TableSnapshot{name: t.name, schema: t.schema, epoch: epoch, st: t.state.Load(), owner: t}
 }
 
 // CreateHashIndex builds (or returns the existing) hash index over the named
@@ -545,6 +551,11 @@ type TableSnapshot struct {
 	schema *Schema
 	epoch  int64
 	st     *tableState
+	// owner is the table the snapshot was pinned from; batch scans reach the
+	// shared zone-map cache through it (zone maps derive from immutable data,
+	// so sharing them across snapshots of any epoch is sound). nil for
+	// hand-built snapshots, which then scan without pruning.
+	owner *Table
 }
 
 // Name returns the table name.

@@ -362,6 +362,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"retention_floor_epoch": s.sess.RetentionFloor(),
 		"gc_rows_reclaimed":     s.sess.GCRowsReclaimed(),
 	}
+	// Parallel-scan gauges: pool size, plus process-wide zone-map counters
+	// (pages skipped without decoding vs. pages materialized).
+	pruned, decoded := relation.ScanStats()
+	payload["scan_workers"] = s.sess.ScanWorkers()
+	payload["pages_pruned"] = pruned
+	payload["pages_decoded"] = decoded
 	if s.cfg.Health != nil {
 		s.cfg.Health(payload)
 	}

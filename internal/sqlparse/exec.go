@@ -23,23 +23,38 @@ func Run(cat relation.Catalog, query string) (*Result, error) {
 	return Execute(cat, stmt)
 }
 
+// ExecOptions tunes statement execution.
+type ExecOptions struct {
+	// ScanWorkers caps the morsel-driven parallel scan worker pool. 0 means
+	// GOMAXPROCS; 1 forces serial execution. The effective pool is
+	// min(GOMAXPROCS, ScanWorkers), and never more than one worker per
+	// morsel (see tryParallel).
+	ScanWorkers int
+}
+
 // Execute runs a parsed statement against a catalog using the query planner
-// (index-backed access paths, predicate pushdown below joins). An EXPLAIN
-// statement returns the rendered plan instead of rows. The statement is not
-// mutated, so a cached parse may be executed concurrently.
+// (index-backed access paths, predicate pushdown below joins, morsel-driven
+// parallel full scans). An EXPLAIN statement returns the rendered plan
+// instead of rows. The statement is not mutated, so a cached parse may be
+// executed concurrently.
 func Execute(cat relation.Catalog, stmt *SelectStmt) (*Result, error) {
-	return execute(cat, stmt, false)
+	return ExecuteOptions(cat, stmt, ExecOptions{})
+}
+
+// ExecuteOptions is Execute with execution tuning.
+func ExecuteOptions(cat relation.Catalog, stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+	return execute(cat, stmt, false, opts)
 }
 
 // ExecuteScan runs a parsed statement with the planner disabled: every table
-// is fully scanned and the WHERE clause filters the joined stream post hoc.
-// It is the reference implementation the planner is property-tested against
-// and the baseline the C8–C10 benchmarks measure.
+// is fully scanned serially and the WHERE clause filters the joined stream
+// post hoc. It is the reference implementation the planner is
+// property-tested against and the baseline the C8–C10 benchmarks measure.
 func ExecuteScan(cat relation.Catalog, stmt *SelectStmt) (*Result, error) {
-	return execute(cat, stmt, true)
+	return execute(cat, stmt, true, ExecOptions{ScanWorkers: 1})
 }
 
-func execute(cat relation.Catalog, stmt *SelectStmt, naive bool) (*Result, error) {
+func execute(cat relation.Catalog, stmt *SelectStmt, naive bool, opts ExecOptions) (*Result, error) {
 	if stmt.AsOf != nil {
 		if stmt.AsOf.ByTime {
 			// Timestamp resolution needs the session's epoch↔timestamp map;
@@ -59,22 +74,31 @@ func execute(cat relation.Catalog, stmt *SelectStmt, naive bool) (*Result, error
 		cat = pinned
 	}
 	ctx := &execCtx{}
-	in, inNode, err := planInput(cat, stmt, ctx, naive)
-	if err != nil {
-		return nil, err
-	}
-
 	var c *compiled
-	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
-		c, err = compileAggregate(in, inNode, stmt, ctx)
-	} else {
-		if stmt.Having != nil {
-			return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+	if !naive {
+		// Morsel-driven parallel full scan, when the statement qualifies; on
+		// any disqualification or compile error the serial path below runs
+		// and surfaces the identical error.
+		if pc, pctx := tryParallel(cat, stmt, opts); pc != nil {
+			c, ctx = pc, pctx
 		}
-		c, err = compileSimple(in, inNode, stmt, ctx)
 	}
-	if err != nil {
-		return nil, err
+	if c == nil {
+		in, inNode, err := planInput(cat, stmt, ctx, naive)
+		if err != nil {
+			return nil, err
+		}
+		if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
+			c, err = compileAggregate(in, inNode, stmt, ctx)
+		} else {
+			if stmt.Having != nil {
+				return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+			}
+			c, err = compileSimple(in, inNode, stmt, ctx)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	if stmt.Explain {
@@ -221,79 +245,125 @@ func project(in pipe, exprs []relation.BatchProjExpr) (relation.Iterator, error)
 	return relation.NewProject(in.rows, relation.RowProjExprs(exprs))
 }
 
-// compileSimple handles the non-aggregate path.
-func compileSimple(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx) (*compiled, error) {
-	b := binder{schema: in.schema()}
+// projItem is one projection output awaiting compilation: the expression,
+// its output name, and whether evaluation errors surface (hidden sort
+// columns drop them).
+type projItem struct {
+	expr       Expr
+	name       string
+	captureErr bool
+}
 
-	// Output expressions.
-	var exprs []relation.BatchProjExpr
-	var visible []string
+// simplePlan is the AST-level shape of a non-aggregate statement — output
+// items, hidden sort columns, sort keys — computed once per statement. The
+// serial path compiles it into one pipeline; the parallel path compiles it
+// once per worker (compiled closures hold per-pipeline scratch state, so
+// they cannot be shared across goroutines).
+type simplePlan struct {
+	items       []projItem
+	visible     []string
+	sortKeys    []relation.SortKey
+	sortDisplay []string
+	nHidden     int
+}
+
+// buildSimplePlan computes the projection/sort shape of a non-aggregate
+// statement against the input schema.
+func buildSimplePlan(stmt *SelectStmt, schema *relation.Schema) (*simplePlan, error) {
+	sp := &simplePlan{}
 	if len(stmt.Items) == 0 { // SELECT *
-		for i := 0; i < b.schema.Len(); i++ {
-			col := b.schema.Col(i)
-			exprs = append(exprs, relation.PassThrough(col.Name, col.Type, i))
-			visible = append(visible, col.Name)
+		for i := 0; i < schema.Len(); i++ {
+			name := schema.Col(i).Name
+			// A bare ColumnRef compiles to a pass-through of the resolved
+			// position; schema column names are unique, so this is the column
+			// itself.
+			sp.items = append(sp.items, projItem{expr: &ColumnRef{Name: name}, name: name, captureErr: true})
+			sp.visible = append(sp.visible, name)
 		}
 	} else {
 		for _, item := range stmt.Items {
-			e, err := compileProjExpr(b, ctx, item.Expr, item.OutputName(), true)
-			if err != nil {
-				return nil, err
-			}
-			exprs = append(exprs, e)
-			visible = append(visible, e.Name)
+			sp.items = append(sp.items, projItem{expr: item.Expr, name: item.OutputName(), captureErr: true})
+			sp.visible = append(sp.visible, item.OutputName())
 		}
 	}
 
 	// Hidden sort columns: ORDER BY expressions not present among visible names.
-	var nHidden int
 	outNames := map[string]bool{}
-	for _, v := range visible {
+	for _, v := range sp.visible {
 		outNames[strings.ToLower(v)] = true
 	}
-	sortKeys := make([]relation.SortKey, 0, len(stmt.OrderBy))
-	sortDisplay := make([]string, 0, len(stmt.OrderBy))
 	for i, oi := range stmt.OrderBy {
 		if cr, ok := oi.Expr.(*ColumnRef); ok && cr.Table == "" && outNames[strings.ToLower(cr.Name)] {
-			sortKeys = append(sortKeys, relation.SortKey{Col: cr.Name, Desc: oi.Desc})
-			sortDisplay = append(sortDisplay, orderItemSQL(oi))
+			sp.sortKeys = append(sp.sortKeys, relation.SortKey{Col: cr.Name, Desc: oi.Desc})
+			sp.sortDisplay = append(sp.sortDisplay, orderItemSQL(oi))
 			continue
 		}
 		name := fmt.Sprintf("__sort%d", i)
-		e, err := compileProjExpr(b, ctx, oi.Expr, name, false)
+		sp.items = append(sp.items, projItem{expr: oi.Expr, name: name})
+		sp.nHidden++
+		sp.sortKeys = append(sp.sortKeys, relation.SortKey{Col: name, Desc: oi.Desc})
+		sp.sortDisplay = append(sp.sortDisplay, orderItemSQL(oi))
+	}
+	if stmt.Distinct && sp.nHidden > 0 {
+		return nil, fmt.Errorf("sql: ORDER BY with DISTINCT must reference selected columns")
+	}
+	return sp, nil
+}
+
+// compileSimpleExprs compiles the plan's projection items against one
+// pipeline's binder, registering error slots on ctx.
+func compileSimpleExprs(b binder, ctx *execCtx, sp *simplePlan) ([]relation.BatchProjExpr, error) {
+	exprs := make([]relation.BatchProjExpr, 0, len(sp.items))
+	for _, it := range sp.items {
+		e, err := compileProjExpr(b, ctx, it.expr, it.name, it.captureErr)
 		if err != nil {
 			return nil, err
 		}
 		exprs = append(exprs, e)
-		nHidden++
-		sortKeys = append(sortKeys, relation.SortKey{Col: name, Desc: oi.Desc})
-		sortDisplay = append(sortDisplay, orderItemSQL(oi))
 	}
-	if stmt.Distinct && nHidden > 0 {
-		return nil, fmt.Errorf("sql: ORDER BY with DISTINCT must reference selected columns")
-	}
+	return exprs, nil
+}
 
-	it, err := project(in, exprs)
-	if err != nil {
-		return nil, err
-	}
-	node := &PlanNode{Op: "Project", Detail: "[" + strings.Join(visible, ", ") + "]", Batched: in.batched(), Children: []*PlanNode{inNode}}
+// finishSimple stacks the post-projection operators (DISTINCT, ORDER BY,
+// LIMIT) on an already-projected row stream. Shared by the serial and
+// parallel paths: relation.NewSort is stable, so sorting a parallel result
+// reassembled in morsel (= row store) order yields exactly the serial output.
+func finishSimple(it relation.Iterator, node *PlanNode, stmt *SelectStmt, sp *simplePlan) (*compiled, error) {
 	if stmt.Distinct {
 		it = relation.NewDistinct(it)
 		node = &PlanNode{Op: "Distinct", Children: []*PlanNode{node}}
 	}
-	if len(sortKeys) > 0 {
-		it, err = relation.NewSort(it, sortKeys)
+	if len(sp.sortKeys) > 0 {
+		var err error
+		it, err = relation.NewSort(it, sp.sortKeys)
 		if err != nil {
 			return nil, err
 		}
-		node = &PlanNode{Op: "Sort", Detail: "[" + strings.Join(sortDisplay, ", ") + "]", Children: []*PlanNode{node}}
+		node = &PlanNode{Op: "Sort", Detail: "[" + strings.Join(sp.sortDisplay, ", ") + "]", Children: []*PlanNode{node}}
 	}
 	if stmt.Limit >= 0 || stmt.Offset > 0 {
 		it = relation.NewLimit(it, stmt.Limit, stmt.Offset)
 		node = &PlanNode{Op: "Limit", Detail: limitDetail(stmt), Children: []*PlanNode{node}}
 	}
-	return &compiled{it: it, plan: node, columns: visible, hidden: nHidden}, nil
+	return &compiled{it: it, plan: node, columns: sp.visible, hidden: sp.nHidden}, nil
+}
+
+// compileSimple handles the non-aggregate path.
+func compileSimple(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx) (*compiled, error) {
+	sp, err := buildSimplePlan(stmt, in.schema())
+	if err != nil {
+		return nil, err
+	}
+	exprs, err := compileSimpleExprs(binder{schema: in.schema()}, ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	it, err := project(in, exprs)
+	if err != nil {
+		return nil, err
+	}
+	node := &PlanNode{Op: "Project", Detail: "[" + strings.Join(sp.visible, ", ") + "]", Batched: in.batched(), Children: []*PlanNode{inNode}}
+	return finishSimple(it, node, stmt, sp)
 }
 
 func orderItemSQL(oi OrderItem) string {
@@ -318,16 +388,21 @@ func limitDetail(stmt *SelectStmt) string {
 	return d
 }
 
-// compileAggregate handles GROUP BY / aggregate queries by (1) pre-projecting
-// group keys and aggregate arguments, (2) hash aggregation, (3) rewriting the
-// select list, HAVING and ORDER BY to reference the aggregated schema. On a
-// batched input, (1) and (2) run vectorized: pre-projection aliases plain
-// column references and hash aggregation reads column slices directly, so a
-// full-scan GROUP BY allocates nothing per input row.
-func compileAggregate(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx) (*compiled, error) {
-	b := binder{schema: in.schema()}
+// aggPlan is the AST-level shape of an aggregate statement: the collected
+// aggregate calls, the pre-projection items (group keys then aggregate
+// arguments), and the aggregation specs. Like simplePlan, it is computed
+// once and compiled per pipeline.
+type aggPlan struct {
+	rw        *aggRewriter
+	pre       []projItem
+	groupCols []string
+	groupSQL  map[string]string
+	specs     []relation.AggSpec
+}
 
-	// Collect aggregate calls from select items, HAVING and ORDER BY.
+// buildAggPlan collects aggregate calls from the select items, HAVING and
+// ORDER BY, and lays out the pre-projection and aggregation specs.
+func buildAggPlan(stmt *SelectStmt) (*aggPlan, error) {
 	rw := &aggRewriter{bySQL: map[string]string{}}
 	for _, it := range stmt.Items {
 		rw.collect(it.Expr)
@@ -339,24 +414,20 @@ func compileAggregate(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx)
 		rw.collect(oi.Expr)
 	}
 
-	// Pre-projection: group keys first, then aggregate args.
-	var pre []relation.BatchProjExpr
-	groupCols := make([]string, len(stmt.GroupBy))
-	groupSQL := make(map[string]string, len(stmt.GroupBy))
+	ap := &aggPlan{
+		rw:        rw,
+		groupCols: make([]string, len(stmt.GroupBy)),
+		groupSQL:  make(map[string]string, len(stmt.GroupBy)),
+	}
 	for i, ge := range stmt.GroupBy {
 		name := fmt.Sprintf("__g%d", i)
 		if cr, ok := ge.(*ColumnRef); ok {
 			name = cr.Name
 		}
-		e, err := compileProjExpr(b, ctx, ge, name, true)
-		if err != nil {
-			return nil, err
-		}
-		pre = append(pre, e)
-		groupCols[i] = name
-		groupSQL[ge.SQL()] = name
+		ap.pre = append(ap.pre, projItem{expr: ge, name: name, captureErr: true})
+		ap.groupCols[i] = name
+		ap.groupSQL[ge.SQL()] = name
 	}
-	var specs []relation.AggSpec
 	for i, call := range rw.calls {
 		outName := fmt.Sprintf("__agg%d", i)
 		rw.bySQL[call.SQL()] = outName
@@ -366,7 +437,7 @@ func compileAggregate(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx)
 			if len(call.Args) == 1 {
 				if _, isStar := call.Args[0].(*Star); isStar {
 					spec.Kind = relation.AggCountStar
-					specs = append(specs, spec)
+					ap.specs = append(ap.specs, spec)
 					continue
 				}
 			}
@@ -384,13 +455,41 @@ func compileAggregate(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx)
 			return nil, fmt.Errorf("sql: %s expects one argument", call.Name)
 		}
 		argName := fmt.Sprintf("__arg%d", i)
-		e, err := compileProjExpr(b, ctx, call.Args[0], argName, true)
+		ap.pre = append(ap.pre, projItem{expr: call.Args[0], name: argName, captureErr: true})
+		spec.Col = argName
+		ap.specs = append(ap.specs, spec)
+	}
+	return ap, nil
+}
+
+// compileAggPre compiles the pre-projection (group keys and aggregate
+// arguments) against one pipeline's binder.
+func compileAggPre(b binder, ctx *execCtx, ap *aggPlan) ([]relation.BatchProjExpr, error) {
+	pre := make([]relation.BatchProjExpr, 0, len(ap.pre))
+	for _, it := range ap.pre {
+		e, err := compileProjExpr(b, ctx, it.expr, it.name, it.captureErr)
 		if err != nil {
 			return nil, err
 		}
 		pre = append(pre, e)
-		spec.Col = argName
-		specs = append(specs, spec)
+	}
+	return pre, nil
+}
+
+// compileAggregate handles GROUP BY / aggregate queries by (1) pre-projecting
+// group keys and aggregate arguments, (2) hash aggregation, (3) rewriting the
+// select list, HAVING and ORDER BY to reference the aggregated schema. On a
+// batched input, (1) and (2) run vectorized: pre-projection aliases plain
+// column references and hash aggregation reads column slices directly, so a
+// full-scan GROUP BY allocates nothing per input row.
+func compileAggregate(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx) (*compiled, error) {
+	ap, err := buildAggPlan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	pre, err := compileAggPre(binder{schema: in.schema()}, ctx, ap)
+	if err != nil {
+		return nil, err
 	}
 
 	var grouped relation.Iterator
@@ -399,7 +498,7 @@ func compileAggregate(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx)
 		if err != nil {
 			return nil, err
 		}
-		grouped, err = relation.NewBatchGroup(proj, groupCols, specs)
+		grouped, err = relation.NewBatchGroup(proj, ap.groupCols, ap.specs)
 		if err != nil {
 			return nil, err
 		}
@@ -408,13 +507,21 @@ func compileAggregate(in pipe, inNode *PlanNode, stmt *SelectStmt, ctx *execCtx)
 		if err != nil {
 			return nil, err
 		}
-		grouped, err = relation.NewGroup(proj, groupCols, specs)
+		grouped, err = relation.NewGroup(proj, ap.groupCols, ap.specs)
 		if err != nil {
 			return nil, err
 		}
 	}
-	node := &PlanNode{Op: "Aggregate", Detail: aggDetail(groupCols, rw.calls), Batched: in.batched(), Children: []*PlanNode{inNode}}
+	node := &PlanNode{Op: "Aggregate", Detail: aggDetail(ap.groupCols, ap.rw.calls), Batched: in.batched(), Children: []*PlanNode{inNode}}
+	return compileAggPost(grouped, node, stmt, ctx, ap)
+}
 
+// compileAggPost stacks the post-aggregation half of the pipeline — HAVING,
+// select-list rewrite, DISTINCT, ORDER BY, LIMIT — on an aggregated row
+// stream. Shared by the serial path and the parallel path (where the input
+// is the merged partial aggregate).
+func compileAggPost(grouped relation.Iterator, node *PlanNode, stmt *SelectStmt, ctx *execCtx, ap *aggPlan) (*compiled, error) {
+	rw, groupSQL := ap.rw, ap.groupSQL
 	// Post-aggregation binder over the grouped schema.
 	gb := binder{schema: grouped.Schema()}
 	out := grouped

@@ -557,7 +557,21 @@ func planTableAccess(t relation.TableReader, ref TableRef, conjs []Expr, ctx *ex
 		est = int64(t.Len())/4 + 1
 		consumed = used
 	} else {
-		p = pipe{batch: relation.NewBatchScan(t, needed, relation.DefaultBatchSize)}
+		scan := relation.NewBatchScan(t, needed, relation.DefaultBatchSize)
+		if len(conjs) > 0 {
+			// Zone-map pruning for the full scan, gated on the whole pushed
+			// predicate kernelizing: kernels never produce evaluation errors,
+			// so skipping a page can never suppress a deferred error the
+			// unpruned scan would have latched (see binder.zoneFilter).
+			pred := combineAnd(conjs)
+			zb := binder{schema: schema}
+			if zb.kernelize(pred) != nil {
+				if zf := zb.zoneFilter(pred); zf != nil {
+					scan.SetZoneFilter(zf)
+				}
+			}
+		}
+		p = pipe{batch: scan}
 		est = int64(t.Len())
 		node = &PlanNode{Op: "Scan", Detail: sourceDetail(ref, est), Batched: true}
 	}

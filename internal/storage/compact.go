@@ -47,10 +47,11 @@ type Compactor struct {
 	// Kill points for crash-injection tests: a hook returning an error
 	// aborts compaction at exactly that step, simulating a crash. All nil in
 	// production use.
-	AfterSnapshotWrite  func() error // temp snapshot written + fsynced, not installed
-	BeforeRename        func() error // about to rename temp snapshot into place
-	AfterRename         func() error // snapshot installed, covered segments still present
-	BeforeSegmentDelete func() error // about to delete covered segments
+	MidSnapshotWrite    func(table string) error // one table section written, file incomplete
+	AfterSnapshotWrite  func() error             // temp snapshot written + fsynced, not installed
+	BeforeRename        func() error             // about to rename temp snapshot into place
+	AfterRename         func() error             // snapshot installed, covered segments still present
+	BeforeSegmentDelete func() error             // about to delete covered segments
 }
 
 // CompactStats reports what one compaction did.
@@ -227,7 +228,18 @@ func (c *Compactor) writeSnapshot(walPath string, meta record.SnapshotMeta, tabl
 		return fmt.Errorf("storage: snapshot temp: %w", err)
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
-	if err := record.WriteSnapshot(bw, meta, tables); err != nil {
+	var mid func(string) error
+	if c.MidSnapshotWrite != nil {
+		mid = func(table string) error {
+			// Push the buffered section to the OS first so a kill at this
+			// point leaves a genuinely partial temp file on disk.
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("storage: snapshot flush: %w", err)
+			}
+			return c.MidSnapshotWrite(table)
+		}
+	}
+	if err := record.WriteSnapshotHook(bw, meta, tables, mid); err != nil {
 		f.Close()
 		return err
 	}
