@@ -1,16 +1,20 @@
 # Development targets. CI runs these as parallel jobs (see
 # .github/workflows/ci.yml): lint (fmt+goimports+vet+florvet+staticcheck+
 # govulncheck), test, crash-matrix, repl-matrix,
-# race-stress, fuzz, and bench followed by bench-gate — the benchmark
-# regression gate. bench-gate diffs the fresh BENCH_latest.json against the
+# race-stress, fuzz, bench followed by bench-gate — the benchmark
+# regression gate — and macro followed by macro-gate — the macro-scenario
+# tail-latency gate. bench-gate diffs the fresh BENCH_latest.json against the
 # committed BENCH_baseline.json with cmd/benchdiff and fails on >25%
-# regressions in ns/op or allocs/op; a PR that legitimately regresses (or
-# improves) a defended benchmark updates BENCH_baseline.json in the same PR,
-# keeping the cost explicit and reviewable. The gate is a CI step, not part
-# of `make check`: absolute ns/op only compares within one hardware class,
-# so local machines run the snapshot but not the diff.
+# regressions in ns/op or allocs/op; macro-gate diffs MACRO_latest.json
+# against MACRO_baseline.json with cmd/benchdiff -macro and fails on p99,
+# throughput, or shed-rate regressions past its per-metric thresholds. A PR
+# that legitimately regresses (or improves) a defended number updates the
+# corresponding committed baseline in the same PR, keeping the cost explicit
+# and reviewable. The gates are CI steps, not part of `make check`: absolute
+# figures only compare within one hardware class, so local machines run the
+# snapshots (bench, macro) but not the diffs (bench-gate, macro-gate).
 
-.PHONY: check fmt vet vet-custom build test race-stress repl-matrix bench bench-full bench-gate fuzz
+.PHONY: check fmt vet vet-custom build test race-stress repl-matrix bench bench-full bench-gate macro macro-gate fuzz
 
 check: fmt vet vet-custom build test bench
 
@@ -72,6 +76,23 @@ bench-full:
 # snapshot against the committed baseline and fail on >25% regressions.
 bench-gate:
 	go run ./cmd/benchdiff -baseline BENCH_baseline.json -latest BENCH_latest.json
+
+# macro runs every macro-benchmark scenario (mixed logging/query/replication
+# workloads, internal/macrobench) for MACRO_SECS seconds each and snapshots
+# per-op-class latency histograms, throughput, shed counts, and resource
+# deltas to MACRO_latest.json. CI runs 10s per scenario with a fixed seed;
+# nightly runs 60s (see nightly.yml).
+MACRO_SECS ?= 10
+MACRO_SEED ?= 1
+macro:
+	go run ./cmd/flordb macrobench --duration $(MACRO_SECS)s --seed $(MACRO_SEED) --out MACRO_latest.json all
+
+# macro-gate is the CI macro-scenario regression gate: compare the fresh
+# MACRO_latest.json against the committed MACRO_baseline.json, per scenario
+# and op class, with per-metric thresholds (see cmd/benchdiff -macro flags
+# and DefaultMacroOptions for the single-core-container rationale).
+macro-gate:
+	go run ./cmd/benchdiff -macro -baseline MACRO_baseline.json -latest MACRO_latest.json
 
 # fuzz runs a short smoke pass over every native fuzz target (decoder, WAL
 # replay, snapshot reader); CI runs it on each push.

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"flordb/internal/macrobench"
+)
+
+// MacroOptions tunes the macro-scenario gate. Each metric has its own
+// threshold: tail latency is the noisiest on a shared single-core CI
+// container, so its budget is widest; throughput collapses are steadier
+// signals; shed rate compares on an absolute scale because baselines are
+// often exactly zero.
+type MacroOptions struct {
+	// P99Regress is the tolerated fractional p99 latency increase per op
+	// class; 1.0 means latest p99 may be up to 2x the baseline.
+	P99Regress float64
+	// TputRegress is the tolerated fractional ops/sec decrease per op
+	// class; 0.5 means latest may run at half the baseline throughput.
+	TputRegress float64
+	// ShedSlack is the absolute shed-rate increase tolerated (sheds over
+	// attempts, 0..1); baselines commonly shed 0, so a ratio is useless.
+	ShedSlack float64
+	// FloorNs skips the p99 comparison when both sides are below it —
+	// sub-50µs tails on a busy container are scheduler noise.
+	FloorNs float64
+	// MinOps skips a class entirely when either side completed fewer ops:
+	// a p99 over a handful of samples gates nothing but luck.
+	MinOps int64
+}
+
+// DefaultMacroOptions matches the `make macro-gate` invocation. The budgets
+// are deliberately generous: CI runs every scenario for ~10s on a shared
+// single-core container, where a noisy neighbor alone can double a tail.
+// The gate exists to catch the step-function regressions a reviewer would
+// care about (a lock added to the commit path, a scan that stopped pruning),
+// not 20% drifts — those are nightly's longer runs' job.
+func DefaultMacroOptions() MacroOptions {
+	return MacroOptions{
+		P99Regress:  1.0,
+		TputRegress: 0.5,
+		ShedSlack:   0.10,
+		FloorNs:     50_000,
+		MinOps:      100,
+	}
+}
+
+// CompareMacro gates a latest macro snapshot against the committed baseline,
+// scenario by scenario and op class by op class. It reuses Report, so the
+// rendering and failure contract match the micro-benchmark gate.
+func CompareMacro(baseline, latest *macrobench.SnapshotFile, opts MacroOptions) *Report {
+	rep := &Report{}
+	for _, scen := range sortedKeys(baseline.Scenarios) {
+		base := baseline.Scenarios[scen]
+		cur, ok := latest.Scenarios[scen]
+		if !ok {
+			rep.Missing = append(rep.Missing,
+				fmt.Sprintf("%s: scenario in baseline but missing from latest snapshot", scen))
+			continue
+		}
+		for _, class := range base.ClassNames() {
+			bc := base.Classes[class]
+			cc, ok := cur.Classes[class]
+			key := scen + "/" + class
+			if !ok {
+				rep.Missing = append(rep.Missing,
+					fmt.Sprintf("%s: op class in baseline but missing from latest snapshot", key))
+				continue
+			}
+			if bc.Ops < opts.MinOps || cc.Ops < opts.MinOps {
+				continue // too few samples on either side to gate on
+			}
+			rep.Compared++
+			compareMacroClass(rep, key, bc, cc, opts)
+		}
+	}
+	for _, scen := range sortedKeys(latest.Scenarios) {
+		if _, ok := baseline.Scenarios[scen]; !ok {
+			rep.Added = append(rep.Added, scen)
+		}
+	}
+	return rep
+}
+
+// compareMacroClass applies the three per-metric thresholds to one op class.
+func compareMacroClass(rep *Report, key string, base, cur *macrobench.ClassResult, opts MacroOptions) {
+	baseP99, curP99 := float64(base.Latency.P99), float64(cur.Latency.P99)
+	if baseP99 >= opts.FloorNs || curP99 >= opts.FloorNs {
+		limit := 1 + opts.P99Regress
+		if curP99 > baseP99*limit {
+			rep.Regressions = append(rep.Regressions,
+				fmt.Sprintf("%s: p99 %s -> %s (%+.1f%%, limit %+.0f%%)",
+					key, fmtNum(baseP99), fmtNum(curP99), pct(baseP99, curP99), opts.P99Regress*100))
+		} else if baseP99 > 0 && curP99 < baseP99/limit {
+			rep.Improvements = append(rep.Improvements,
+				fmt.Sprintf("%s: p99 %s -> %s (%+.1f%%)",
+					key, fmtNum(baseP99), fmtNum(curP99), pct(baseP99, curP99)))
+		}
+	}
+	if base.OpsPerSec > 0 {
+		floor := base.OpsPerSec * (1 - opts.TputRegress)
+		if cur.OpsPerSec < floor {
+			rep.Regressions = append(rep.Regressions,
+				fmt.Sprintf("%s: throughput %s -> %s ops/sec (%+.1f%%, limit %+.0f%%)",
+					key, fmtNum(base.OpsPerSec), fmtNum(cur.OpsPerSec),
+					pct(base.OpsPerSec, cur.OpsPerSec), -opts.TputRegress*100))
+		} else if cur.OpsPerSec > base.OpsPerSec*(1+opts.TputRegress) {
+			rep.Improvements = append(rep.Improvements,
+				fmt.Sprintf("%s: throughput %s -> %s ops/sec (%+.1f%%)",
+					key, fmtNum(base.OpsPerSec), fmtNum(cur.OpsPerSec), pct(base.OpsPerSec, cur.OpsPerSec)))
+		}
+	}
+	baseShed, curShed := base.ShedRate(), cur.ShedRate()
+	if curShed > baseShed+opts.ShedSlack {
+		rep.Regressions = append(rep.Regressions,
+			fmt.Sprintf("%s: shed rate %.3f -> %.3f (limit +%.2f absolute)",
+				key, baseShed, curShed, opts.ShedSlack))
+	}
+}
+
+// runMacro is the -macro entry point: load, compare, render, gate.
+func runMacro(baselinePath, latestPath string, opts MacroOptions, out *os.File) error {
+	baseline, err := macrobench.ReadSnapshotFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("benchdiff: %w", err)
+	}
+	latest, err := macrobench.ReadSnapshotFile(latestPath)
+	if err != nil {
+		return fmt.Errorf("benchdiff: %w", err)
+	}
+	rep := CompareMacro(baseline, latest, opts)
+	rep.Render(out)
+	if rep.Failed() {
+		return fmt.Errorf("benchdiff: macro gate failed: %d regression(s), %d missing",
+			len(rep.Regressions), len(rep.Missing))
+	}
+	return nil
+}
+
+// sortedKeys returns a map's keys sorted, for deterministic report order.
+func sortedKeys(m map[string]*macrobench.Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

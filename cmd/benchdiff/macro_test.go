@@ -1,0 +1,187 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flordb/internal/macrobench"
+	"flordb/internal/metrics"
+)
+
+// macroResult builds a one-class scenario result with the given figures.
+func macroResult(scenario, class string, ops int64, p99 int64, opsPerSec float64, sheds int64) *macrobench.Result {
+	return &macrobench.Result{
+		Scenario: scenario,
+		Classes: map[string]*macrobench.ClassResult{
+			class: {
+				Ops:       ops,
+				Sheds:     sheds,
+				OpsPerSec: opsPerSec,
+				Latency:   &metrics.HistSnapshot{Count: ops, P50: p99 / 2, P99: p99, Max: p99},
+			},
+		},
+	}
+}
+
+func macroFile(results ...*macrobench.Result) *macrobench.SnapshotFile {
+	f := macrobench.NewSnapshotFile()
+	for _, r := range results {
+		f.Add(r)
+	}
+	return f
+}
+
+func TestMacroPassesOnIdenticalSnapshots(t *testing.T) {
+	base := macroFile(macroResult("log-heavy", "log-commit", 5000, 400_000, 500, 0))
+	rep := CompareMacro(base, base, DefaultMacroOptions())
+	if rep.Failed() {
+		t.Fatalf("identical snapshots failed the gate: %+v", rep)
+	}
+	if rep.Compared != 1 {
+		t.Fatalf("compared = %d, want 1", rep.Compared)
+	}
+}
+
+func TestMacroP99Regression(t *testing.T) {
+	base := macroFile(macroResult("log-heavy", "log-commit", 5000, 400_000, 500, 0))
+	// 2.5x the baseline p99 — past the 2x budget.
+	cur := macroFile(macroResult("log-heavy", "log-commit", 5000, 1_000_000, 500, 0))
+	rep := CompareMacro(base, cur, DefaultMacroOptions())
+	if !rep.Failed() || len(rep.Regressions) != 1 {
+		t.Fatalf("want exactly one regression, got %+v", rep)
+	}
+	if !strings.Contains(rep.Regressions[0], "p99") {
+		t.Fatalf("regression should name p99: %s", rep.Regressions[0])
+	}
+}
+
+func TestMacroThroughputRegression(t *testing.T) {
+	base := macroFile(macroResult("log-heavy", "log-commit", 5000, 400_000, 500, 0))
+	cur := macroFile(macroResult("log-heavy", "log-commit", 1000, 400_000, 100, 0))
+	rep := CompareMacro(base, cur, DefaultMacroOptions())
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "throughput") {
+		t.Fatalf("want one throughput regression, got %+v", rep.Regressions)
+	}
+}
+
+func TestMacroShedRateRegression(t *testing.T) {
+	base := macroFile(macroResult("dash", "http-read", 5000, 400_000, 500, 0))
+	// 1000 sheds over 6000 attempts ≈ 0.167 — past the +0.10 absolute slack.
+	cur := macroFile(macroResult("dash", "http-read", 5000, 400_000, 500, 1000))
+	rep := CompareMacro(base, cur, DefaultMacroOptions())
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "shed rate") {
+		t.Fatalf("want one shed-rate regression, got %+v", rep.Regressions)
+	}
+	// Within the slack: no failure.
+	ok := macroFile(macroResult("dash", "http-read", 5000, 400_000, 500, 300))
+	if rep := CompareMacro(base, ok, DefaultMacroOptions()); rep.Failed() {
+		t.Fatalf("shed rate within slack failed: %+v", rep.Regressions)
+	}
+}
+
+func TestMacroImprovementReported(t *testing.T) {
+	base := macroFile(macroResult("log-heavy", "log-commit", 5000, 2_000_000, 100, 0))
+	cur := macroFile(macroResult("log-heavy", "log-commit", 5000, 400_000, 500, 0))
+	rep := CompareMacro(base, cur, DefaultMacroOptions())
+	if rep.Failed() {
+		t.Fatalf("improvement failed the gate: %+v", rep.Regressions)
+	}
+	if len(rep.Improvements) < 2 {
+		t.Fatalf("want p99 and throughput improvements, got %+v", rep.Improvements)
+	}
+}
+
+func TestMacroMissingScenarioAndClass(t *testing.T) {
+	base := macroFile(
+		macroResult("log-heavy", "log-commit", 5000, 400_000, 500, 0),
+		macroResult("dash", "http-read", 5000, 400_000, 500, 0),
+	)
+	cur := macroFile(macroResult("log-heavy", "point-read", 5000, 400_000, 500, 0))
+	rep := CompareMacro(base, cur, DefaultMacroOptions())
+	if !rep.Failed() || len(rep.Missing) != 2 {
+		t.Fatalf("want missing scenario + missing class, got %+v", rep.Missing)
+	}
+}
+
+func TestMacroPerMetricThresholds(t *testing.T) {
+	base := macroFile(macroResult("s", "c", 5000, 400_000, 500, 0))
+	cur := macroFile(macroResult("s", "c", 5000, 700_000, 400, 0)) // +75% p99, -20% tput
+
+	// Default budgets (2x p99, -50% tput) tolerate both.
+	if rep := CompareMacro(base, cur, DefaultMacroOptions()); rep.Failed() {
+		t.Fatalf("default thresholds failed: %+v", rep.Regressions)
+	}
+	// Tightening only the p99 budget flips only the p99 check.
+	tight := DefaultMacroOptions()
+	tight.P99Regress = 0.5
+	rep := CompareMacro(base, cur, tight)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "p99") {
+		t.Fatalf("want one p99 regression under tightened budget, got %+v", rep.Regressions)
+	}
+	// Tightening only the throughput budget flips only the throughput check.
+	tight = DefaultMacroOptions()
+	tight.TputRegress = 0.1
+	rep = CompareMacro(base, cur, tight)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "throughput") {
+		t.Fatalf("want one throughput regression under tightened budget, got %+v", rep.Regressions)
+	}
+}
+
+func TestMacroFloorAndMinOpsSkips(t *testing.T) {
+	opts := DefaultMacroOptions()
+	// Both p99s under the floor: a 10x tail blowup at 2µs is noise.
+	base := macroFile(macroResult("s", "c", 5000, 2_000, 500, 0))
+	cur := macroFile(macroResult("s", "c", 5000, 20_000, 500, 0))
+	if rep := CompareMacro(base, cur, opts); rep.Failed() {
+		t.Fatalf("sub-floor p99 comparison failed the gate: %+v", rep.Regressions)
+	}
+	// Under MinOps on the latest side: class skipped entirely.
+	base = macroFile(macroResult("s", "c", 5000, 400_000, 500, 0))
+	cur = macroFile(macroResult("s", "c", 10, 10_000_000, 1, 0))
+	rep := CompareMacro(base, cur, opts)
+	if rep.Failed() || rep.Compared != 0 {
+		t.Fatalf("under-sampled class should be skipped, got %+v", rep)
+	}
+}
+
+// TestMacroGateFailsOnInjectedP99Regression is the end-to-end acceptance
+// check: write a baseline snapshot and a latest snapshot with a synthetic
+// p99 regression to disk, run the same code path `make macro-gate` runs, and
+// require a nonzero verdict naming the regressed class.
+func TestMacroGateFailsOnInjectedP99Regression(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "MACRO_baseline.json")
+	latestPath := filepath.Join(dir, "MACRO_latest.json")
+	if err := macroFile(macroResult("log-heavy", "log-commit", 5000, 400_000, 500, 0)).WriteFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := macroFile(macroResult("log-heavy", "log-commit", 5000, 5_000_000, 500, 0)).WriteFile(latestPath); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.Create(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	gateErr := runMacro(basePath, latestPath, DefaultMacroOptions(), out)
+	if gateErr == nil {
+		t.Fatal("macro gate passed despite an injected p99 regression")
+	}
+	if !strings.Contains(gateErr.Error(), "macro gate failed") {
+		t.Fatalf("unexpected gate error: %v", gateErr)
+	}
+	rendered, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rendered), "log-heavy/log-commit") {
+		t.Fatalf("report does not name the regressed class:\n%s", rendered)
+	}
+
+	// And the inverse: an unchanged latest passes the same path green.
+	if err := runMacro(basePath, basePath, DefaultMacroOptions(), out); err != nil {
+		t.Fatalf("identical snapshots failed the gate: %v", err)
+	}
+}

@@ -14,8 +14,29 @@ func main() {
 		floorNs      = flag.Float64("floor-ns", 1000, "skip ns/op comparison when both sides are below this (single-iteration noise)")
 		allocSlack   = flag.Float64("alloc-slack", 2, "absolute allocs/op increase tolerated on top of the fraction")
 		cpuMode      = flag.String("cpu", "auto", "GOMAXPROCS suffix handling: auto (keep only for multi-cpu runs), keep, strip")
+
+		macroMode       = flag.Bool("macro", false, "compare macrobench scenario snapshots instead of go test -json benchmarks")
+		macroP99Regress = flag.Float64("macro-p99-regress", DefaultMacroOptions().P99Regress, "tolerated fractional p99 latency increase per op class")
+		macroTputRegres = flag.Float64("macro-tput-regress", DefaultMacroOptions().TputRegress, "tolerated fractional throughput decrease per op class")
+		macroShedSlack  = flag.Float64("macro-shed-slack", DefaultMacroOptions().ShedSlack, "tolerated absolute shed-rate increase per op class")
+		macroFloorNs    = flag.Float64("macro-floor-ns", DefaultMacroOptions().FloorNs, "skip p99 comparison when both sides are below this")
+		macroMinOps     = flag.Int64("macro-min-ops", DefaultMacroOptions().MinOps, "skip op classes with fewer completed ops on either side")
 	)
 	flag.Parse()
+	if *macroMode {
+		opts := MacroOptions{
+			P99Regress:  *macroP99Regress,
+			TputRegress: *macroTputRegres,
+			ShedSlack:   *macroShedSlack,
+			FloorNs:     *macroFloorNs,
+			MinOps:      *macroMinOps,
+		}
+		if err := runMacro(*baselinePath, *latestPath, opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	mode, err := parseCPUMode(*cpuMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

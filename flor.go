@@ -1147,6 +1147,23 @@ func (s *Session) WALSyncCount() int64 {
 	return s.wal.SyncCount()
 }
 
+// WALCommitCount reports how many commit records the session's WAL has
+// appended since open (0 for in-memory sessions). SyncCount over
+// CommitCount is the fsyncs/commit figure surfaced by /metrics and the
+// macro-benchmark resource report.
+func (s *Session) WALCommitCount() int64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.CommitCount()
+}
+
+// PlanCacheStats reports the session plan cache's hits and misses since
+// open — the /healthz and /metrics plan_cache_hit_rate gauges divide them.
+func (s *Session) PlanCacheStats() (hits, misses uint64) {
+	return s.plans.Stats()
+}
+
 // Hooks exposes the session's recording hooks for direct use with a Flow
 // interpreter (benchmarks isolate hook cost this way; normal callers should
 // use RunScript).

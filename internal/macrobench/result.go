@@ -1,0 +1,175 @@
+package macrobench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"flordb/internal/metrics"
+)
+
+// SnapshotFormat versions the macro snapshot file layout; benchdiff refuses
+// files from a different format rather than mis-comparing.
+const SnapshotFormat = 1
+
+// ClassResult is one op class's outcome in one scenario run.
+type ClassResult struct {
+	// Ops counts successful operations; latency quantiles cover exactly
+	// these (sheds fail fast and would pollute the distribution).
+	Ops    int64 `json:"ops"`
+	Errors int64 `json:"errors"`
+	// Sheds counts intentional rejections: admission 429/503, staleness
+	// gate refusals, and AS OF reads that lost a race with epoch GC.
+	Sheds     int64                 `json:"sheds"`
+	OpsPerSec float64               `json:"ops_per_sec"`
+	Latency   *metrics.HistSnapshot `json:"latency"`
+}
+
+// ShedRate is sheds over attempts (successes + sheds); errors are excluded —
+// they gate separately by count.
+func (c *ClassResult) ShedRate() float64 {
+	attempts := c.Ops + c.Sheds
+	if attempts == 0 {
+		return 0
+	}
+	return float64(c.Sheds) / float64(attempts)
+}
+
+// Resources are engine-level deltas over the measured window (not per-class:
+// the classes interfere by design, which is the point of a macro-benchmark).
+type Resources struct {
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	WALSyncs        int64   `json:"wal_syncs"`
+	WALCommits      int64   `json:"wal_commits"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+	PagesPruned     int64   `json:"pages_pruned"`
+	PagesDecoded    int64   `json:"pages_decoded"`
+	SnapshotPins    int64   `json:"snapshot_pins"` // at run end; nonzero means a leak
+	RowVersions     int64   `json:"row_versions"`
+	LiveRows        int64   `json:"live_rows"`
+	GCRowsReclaimed int64   `json:"gc_rows_reclaimed"`
+	CompactRuns     int64   `json:"compact_runs"`
+	GCRuns          int64   `json:"gc_runs"`
+	ReplicaApplied  int64   `json:"replica_applied,omitempty"`
+	ReplicaLag      int64   `json:"replica_lag,omitempty"`
+}
+
+// Result is one scenario run's full report.
+type Result struct {
+	Scenario   string                  `json:"scenario"`
+	Seed       int64                   `json:"seed"`
+	DurationNs int64                   `json:"duration_ns"`
+	TotalOps   int64                   `json:"total_ops"`
+	Classes    map[string]*ClassResult `json:"classes"`
+	Resources  Resources               `json:"resources"`
+}
+
+// SnapshotFile is the on-disk macro snapshot: one Result per scenario.
+// MACRO_baseline.json (committed) and MACRO_latest.json (produced by `make
+// macro`) both use it; cmd/benchdiff -macro diffs the two.
+type SnapshotFile struct {
+	Format    int                `json:"format"`
+	Scenarios map[string]*Result `json:"scenarios"`
+}
+
+// NewSnapshotFile returns an empty snapshot at the current format.
+func NewSnapshotFile() *SnapshotFile {
+	return &SnapshotFile{Format: SnapshotFormat, Scenarios: make(map[string]*Result)}
+}
+
+// Add records a scenario result (replacing any prior run of the same name).
+func (f *SnapshotFile) Add(r *Result) {
+	if f.Scenarios == nil {
+		f.Scenarios = make(map[string]*Result)
+	}
+	f.Scenarios[r.Scenario] = r
+}
+
+// Encode serializes the snapshot with sorted keys (json.Marshal sorts map
+// keys, so snapshots diff cleanly under version control).
+func (f *SnapshotFile) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteFile writes the snapshot to path atomically enough for CI use.
+func (f *SnapshotFile) WriteFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Encode(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadSnapshotFile loads a macro snapshot, refusing unknown formats.
+func ReadSnapshotFile(path string) (*SnapshotFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f SnapshotFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("macrobench: parse %s: %w", path, err)
+	}
+	if f.Format != SnapshotFormat {
+		return nil, fmt.Errorf("macrobench: %s has snapshot format %d, this build reads %d", path, f.Format, SnapshotFormat)
+	}
+	return &f, nil
+}
+
+// ClassNames returns the result's op classes, sorted — every renderer
+// iterates through this so output order is deterministic (the
+// deterministicrender analyzer forbids ranging a map straight into output).
+func (r *Result) ClassNames() []string {
+	names := make([]string, 0, len(r.Classes))
+	for name := range r.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Render writes the human-readable scenario report the CLI prints.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s  (seed %d, %s)\n", r.Scenario, r.Seed,
+		metrics.FormatNs(r.DurationNs))
+	fmt.Fprintf(w, "  %-14s %10s %12s %10s %10s %10s %8s %8s\n",
+		"class", "ops", "ops/sec", "p50", "p95", "p99", "sheds", "errors")
+	for _, name := range r.ClassNames() {
+		c := r.Classes[name]
+		fmt.Fprintf(w, "  %-14s %10d %12.1f %10s %10s %10s %8d %8d\n",
+			name, c.Ops, c.OpsPerSec,
+			metrics.FormatNs(c.Latency.P50), metrics.FormatNs(c.Latency.P95),
+			metrics.FormatNs(c.Latency.P99), c.Sheds, c.Errors)
+	}
+	res := r.Resources
+	fmt.Fprintf(w, "  resources: %.1f allocs/op, %.2f fsyncs/commit (%d syncs / %d commits)\n",
+		res.AllocsPerOp, res.FsyncsPerCommit, res.WALSyncs, res.WALCommits)
+	fmt.Fprintf(w, "             %d pages pruned / %d decoded, %d row versions (%d live), %d rows GC'd\n",
+		res.PagesPruned, res.PagesDecoded, res.RowVersions, res.LiveRows, res.GCRowsReclaimed)
+	if res.CompactRuns > 0 || res.GCRuns > 0 {
+		fmt.Fprintf(w, "             %d compactions, %d GC cycles\n", res.CompactRuns, res.GCRuns)
+	}
+	if res.ReplicaApplied > 0 || res.ReplicaLag > 0 {
+		fmt.Fprintf(w, "             replica: %d segments applied, lag %d\n",
+			res.ReplicaApplied, res.ReplicaLag)
+	}
+	if res.SnapshotPins > 0 {
+		fmt.Fprintf(w, "             WARNING: %d snapshot pins still live at run end\n", res.SnapshotPins)
+	}
+}
+
+// RenderString renders the report into a string.
+func (r *Result) RenderString() string {
+	var sb strings.Builder
+	r.Render(&sb)
+	return sb.String()
+}

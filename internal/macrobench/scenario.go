@@ -1,0 +1,141 @@
+// Package macrobench is FlorDB's macro-benchmark suite: named mixed-workload
+// scenarios that drive a live engine the way the paper's lifecycle does —
+// training loops logging and committing while dashboards, hindsight queries,
+// time-travel reads, and replicas pull on the same database — and measure
+// what the micro-benchmarks cannot: tail latency under interference,
+// shedding behavior at admission limits, and the resource story (fsyncs per
+// commit, zone-map pruning, MVCC history growth) of the whole system running
+// at once.
+//
+// A scenario declares a worker mix (logging writers, point readers,
+// scan-aggregate readers, AS OF readers, HTTP readers through the API
+// server, replica readers through a real follower) plus background
+// maintenance (compaction, epoch-retention GC). Run seeds the database,
+// starts every worker with its own seeded RNG and its own latency histogram
+// (internal/metrics; merged per op class at the end, so the measured run
+// shares no histogram atomics across workers), runs for a fixed duration,
+// and reports per-class p50/p95/p99, throughput, error/shed counts, and
+// resource deltas. Results serialize into snapshot files that cmd/benchdiff
+// -macro compares with per-metric thresholds — the CI macro-gate.
+package macrobench
+
+import "time"
+
+// Scenario is one named workload mix. The zero value is not runnable; use
+// the built-in scenarios (Scenarios, Lookup) or fill every field a worker
+// class needs.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Engine options for the scenario's session.
+	NoSync        bool
+	SegmentBytes  int64 // 0 = storage default; 1 seals a segment every commit
+	SnapshotEvery int   // auto-compact every N commits (0 = never)
+	RetainEpochs  int   // epoch-retention GC budget (0 = retain all history)
+
+	// Seed phase: history present before the measured run starts, so
+	// readers never race an empty database.
+	SeedCommits       int
+	SeedLogsPerCommit int
+
+	// Worker mix. Each worker runs one op class in a loop until the
+	// scenario deadline.
+	Writers        int // log LogsPerCommit values then commit ("log-commit")
+	LogsPerCommit  int
+	PointReaders   int // indexed count/avg over one value_name ("point-read")
+	ScanReaders    int // full-scan GROUP BY aggregate ("scan-agg")
+	AsOfReaders    int // AS OF <random retained epoch> reads ("asof-read")
+	HTTPReaders    int // /sql and /dataframe through the API server ("http-read")
+	ReplicaReaders int // reads on a live follower, behind its Gate ("replica-read")
+
+	// Background maintenance, each on its own goroutine.
+	CompactEvery time.Duration // interval between Session.Compact calls (0 = never)
+	GCEvery      time.Duration // interval between Session.GCEpochs calls (0 = never)
+
+	// Admission limits for the API server HTTPReaders drive (zero values
+	// apply the server defaults).
+	MaxInFlight int
+	MaxQueue    int
+}
+
+// builtins defines the named scenarios, in gate order. Worker counts are
+// sized for a single-core CI container: every scenario stays meaningful —
+// each op class completes hundreds of ops in a 10-second run — without
+// overcommitting the machine so far that tail latencies measure only
+// scheduler queueing.
+var builtins = []Scenario{
+	{
+		// The one durable (fsyncing) scenario: group commit is its point,
+		// so fsyncs/commit must be real — under 4 concurrent committers it
+		// should sit well below 1 per commit.
+		Name:        "log-heavy",
+		Description: "training-loop ingest: concurrent writers group-committing durably, one dashboard reader",
+		SeedCommits: 4, SeedLogsPerCommit: 64,
+		Writers: 4, LogsPerCommit: 64,
+		PointReaders: 1,
+	},
+	{
+		Name:        "hindsight-dashboard",
+		Description: "read-mostly dashboard over a deep history, HTTP readers through the API server",
+		NoSync:      true,
+		SeedCommits: 32, SeedLogsPerCommit: 128,
+		Writers: 2, LogsPerCommit: 16,
+		PointReaders: 2, ScanReaders: 1, HTTPReaders: 2,
+	},
+	{
+		Name:        "asof-timetravel",
+		Description: "time-travel readers pinning random historical epochs while writers extend history",
+		NoSync:      true,
+		SeedCommits: 64, SeedLogsPerCommit: 32,
+		Writers: 1, LogsPerCommit: 16,
+		PointReaders: 1, AsOfReaders: 3,
+	},
+	{
+		Name:         "compaction-churn",
+		Description:  "writers against per-commit segment sealing with background compaction and epoch GC",
+		NoSync:       true,
+		SegmentBytes: 1,
+		RetainEpochs: 16,
+		SeedCommits:  16, SeedLogsPerCommit: 64,
+		Writers: 2, LogsPerCommit: 32,
+		PointReaders: 1, ScanReaders: 1, AsOfReaders: 1,
+		CompactEvery: 50 * time.Millisecond,
+		GCEvery:      100 * time.Millisecond,
+	},
+	{
+		Name:         "replicated-reads",
+		Description:  "a real follower tails the primary over HTTP while replica readers query behind its staleness gate",
+		NoSync:       true,
+		SegmentBytes: 1,
+		SeedCommits:  8, SeedLogsPerCommit: 32,
+		Writers: 1, LogsPerCommit: 16,
+		PointReaders: 1, ReplicaReaders: 2,
+	},
+}
+
+// Scenarios returns the built-in scenarios in gate order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(builtins))
+	copy(out, builtins)
+	return out
+}
+
+// Lookup resolves a built-in scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range builtins {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names returns the built-in scenario names in gate order.
+func Names() []string {
+	out := make([]string, len(builtins))
+	for i, sc := range builtins {
+		out[i] = sc.Name
+	}
+	return out
+}

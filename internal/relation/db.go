@@ -208,6 +208,22 @@ func (db *Database) SchemaOf(name string) (*Schema, error) {
 	return nil, fmt.Errorf("relation: no table %q", name)
 }
 
+// RowVersions reports the total row versions held across base tables
+// (tombstoned versions included) and how many are live in the latest view.
+// The gap between the two is MVCC history: what the epoch-retention GC and
+// compaction exist to bound. It feeds the /metrics row_versions and
+// live_rows gauges and macrobench's resource-delta accounting.
+func (db *Database) RowVersions() (total, live int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, t := range db.tables {
+		st := t.state.Load()
+		total += int64(len(st.rows))
+		live += int64(st.live)
+	}
+	return total, live
+}
+
 // Names lists all table names (base then virtual), sorted.
 func (db *Database) Names() []string {
 	db.mu.RLock()

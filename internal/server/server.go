@@ -9,6 +9,15 @@
 //	GET/POST /explain    — show the plan the planner chooses
 //	GET      /dataframe  — the pivoted flor.dataframe view
 //	GET      /healthz    — liveness, epoch, and admission stats
+//	GET      /metrics    — latency histograms + engine counters/gauges
+//
+// /metrics serves the server's metrics.Registry: per-route query latency
+// histograms (p50/p95/p99 with full bucket dumps), admission counters, and
+// engine gauges (fsyncs/commit, plan-cache hit rate, snapshot pins, zone-map
+// page counters, replica lag via the Health hook). The macro-benchmark
+// suite (internal/macrobench) records into the same registry type — and,
+// when it drives this server, into the same registry instance — so load
+// tests and production serving report through one instrumentation layer.
 //
 // Every query handler pins a committed-epoch snapshot for the request, so
 // responses are internally consistent and never block the writer. Admission
@@ -30,6 +39,7 @@ import (
 	"time"
 
 	flor "flordb"
+	"flordb/internal/metrics"
 	"flordb/internal/relation"
 	"flordb/internal/sqlparse"
 )
@@ -63,6 +73,11 @@ type Config struct {
 	// notably mid-stream encode failures after the 200 header is out.
 	// Defaults to log.Printf.
 	Logf func(format string, args ...any)
+	// Registry, when set, is the metrics registry the server records route
+	// latencies into and serves at /metrics. macrobench passes its own so a
+	// scenario's op-class histograms and the server's route histograms land
+	// in one live registry. Nil creates a private one.
+	Registry *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +114,7 @@ type Server struct {
 	sess *flor.Session
 	cfg  Config
 	mux  *http.ServeMux
+	reg  *metrics.Registry
 
 	slots chan struct{} // execution slots (MaxInFlight)
 	queue chan struct{} // waiting slots (MaxQueue)
@@ -110,19 +126,29 @@ type Server struct {
 // New builds the API server over a session.
 func New(sess *flor.Session, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Server{
 		sess:  sess,
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
+		reg:   reg,
 		slots: make(chan struct{}, cfg.MaxInFlight),
 		queue: make(chan struct{}, cfg.MaxQueue),
 	}
-	s.mux.HandleFunc("/sql", s.admitted(s.handleSQL))
-	s.mux.HandleFunc("/explain", s.admitted(s.handleExplain))
-	s.mux.HandleFunc("/dataframe", s.admitted(s.handleDataframe))
+	s.mux.HandleFunc("/sql", s.admitted("sql", s.handleSQL))
+	s.mux.HandleFunc("/explain", s.admitted("explain", s.handleExplain))
+	s.mux.HandleFunc("/dataframe", s.admitted("dataframe", s.handleDataframe))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
+
+// Registry exposes the server's metrics registry (the /metrics source), so
+// callers embedding the server can record alongside it.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // Handle mounts an extra handler on the server's mux — replication mounts
 // its /repl/ shipping endpoints here so followers and dashboards share one
@@ -187,8 +213,12 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
-// admitted wraps a handler with admission control.
-func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+// admitted wraps a handler with admission control and latency recording:
+// each executed request's wall time (admission wait excluded — queueing is
+// the admission story, execution time is the query's) lands in the route's
+// registry histogram, which /metrics serves live.
+func (s *Server) admitted(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		release, err := s.admit(r.Context())
 		if err != nil {
@@ -211,7 +241,9 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			}
 		}
 		s.served.Add(1)
+		start := time.Now()
 		h(w, r)
+		hist.Observe(time.Since(start).Nanoseconds())
 	}
 }
 
@@ -368,10 +400,79 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	payload["scan_workers"] = s.sess.ScanWorkers()
 	payload["pages_pruned"] = pruned
 	payload["pages_decoded"] = decoded
+	hits, misses := s.sess.PlanCacheStats()
+	payload["plan_cache_hits"] = hits
+	payload["plan_cache_misses"] = misses
+	payload["plan_cache_hit_rate"] = hitRate(hits, misses)
 	if s.cfg.Health != nil {
 		s.cfg.Health(payload)
 	}
 	json.NewEncoder(w).Encode(payload)
+}
+
+// hitRate divides hits by total lookups; an untouched cache reports 0.
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// handleMetrics serves the full observability payload: the registry's
+// latency histograms (complete bucket dumps, so offline tools can merge and
+// re-derive quantiles), admission counters, and engine gauges. Like
+// /healthz it bypasses admission — observability must stay readable
+// exactly when the server is shedding.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	counters := make(map[string]int64, len(snap.Counters)+2)
+	for k, v := range snap.Counters {
+		counters[k] = v
+	}
+	counters["queries_served"] = s.served.Load()
+	counters["admission_rejections"] = s.rejected.Load()
+
+	gauges := make(map[string]any, len(snap.Gauges)+16)
+	for k, v := range snap.Gauges {
+		gauges[k] = v
+	}
+	gauges["epoch"] = s.sess.Database().Epoch()
+	gauges["snapshot_pins"] = s.sess.Database().Pins()
+	gauges["retention_floor_epoch"] = s.sess.RetentionFloor()
+	gauges["gc_rows_reclaimed"] = s.sess.GCRowsReclaimed()
+	gauges["in_flight"] = len(s.slots)
+	gauges["queued"] = len(s.queue)
+	hits, misses := s.sess.PlanCacheStats()
+	gauges["plan_cache_hits"] = hits
+	gauges["plan_cache_misses"] = misses
+	gauges["plan_cache_hit_rate"] = hitRate(hits, misses)
+	syncs, commits := s.sess.WALSyncCount(), s.sess.WALCommitCount()
+	gauges["wal_syncs"] = syncs
+	gauges["wal_commits"] = commits
+	if commits > 0 {
+		gauges["fsyncs_per_commit"] = float64(syncs) / float64(commits)
+	} else {
+		gauges["fsyncs_per_commit"] = 0.0
+	}
+	pruned, decoded := relation.ScanStats()
+	gauges["pages_pruned"] = pruned
+	gauges["pages_decoded"] = decoded
+	gauges["scan_workers"] = s.sess.ScanWorkers()
+	total, live := s.sess.Database().RowVersions()
+	gauges["row_versions"] = total
+	gauges["live_rows"] = live
+	// Health merges replication gauges (replica lag, shipping counters) —
+	// the same hook /healthz uses, so both endpoints agree.
+	if s.cfg.Health != nil {
+		s.cfg.Health(gauges)
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"histograms": snap.Histograms,
+		"counters":   counters,
+		"gauges":     gauges,
+	})
 }
 
 // streamResult writes {"epoch":E,"columns":[...],"rows":[[...],...],"row_count":N}

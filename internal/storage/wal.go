@@ -84,7 +84,8 @@ type WAL struct {
 	gcGen  int64 // generation the durable prefix below refers to
 	gcOff  int64 // bytes of gcGen proven flushed+fsynced
 
-	syncs atomic.Int64 // fsyncs performed; group-commit observability
+	syncs   atomic.Int64 // fsyncs performed; group-commit observability
+	commits atomic.Int64 // commit records appended; feeds the fsyncs/commit gauge
 }
 
 // Options configures WAL behavior.
@@ -207,6 +208,12 @@ func (w *WAL) flushLocked() error {
 // C13 reports the ratio.
 func (w *WAL) SyncCount() int64 { return w.syncs.Load() }
 
+// CommitCount reports how many commit records this WAL has appended since
+// open. fsyncs/commit — SyncCount over CommitCount — is the group-commit
+// efficiency figure /metrics and macrobench report: 1.0 means every commit
+// paid its own fsync, lower means committers coalesced.
+func (w *WAL) CommitCount() int64 { return w.commits.Load() }
+
 // AppendCommit appends a commit record and waits until it is durable — the
 // commit point. Concurrent callers coalesce: the record is appended under
 // the short append lock, then one caller is elected group-commit leader and
@@ -226,6 +233,7 @@ func (w *WAL) AppendCommit(rec *record.CommitRecord) error {
 	w.committed = w.size
 	gen, target := w.gen, w.size
 	w.mu.Unlock()
+	w.commits.Add(1)
 	return w.syncCommitted(gen, target)
 }
 
